@@ -1,0 +1,87 @@
+// Ablation — which MAC can live in the ICRC field at line rate?
+//
+// The in-fabric cost of a MAC is one pipeline stage per message whose
+// length is (MTU bytes x cycles/byte / crypto clock). For UMAC that stage
+// is nanoseconds; for the HMACs at the paper's 350 MHz security-block clock
+// it exceeds the packet serialization time, so the sender can no longer
+// sustain the injection rate and queuing explodes. This sweep runs the same
+// partition-level authenticated workload with each algorithm's modeled
+// per-message cost (Table 4) and reports the end-to-end effect — the
+// quantitative version of the paper's sec. 5.2/7 argument for UMAC.
+#include <cstdio>
+
+#include "analytic/mac_model.h"
+#include "bench/bench_util.h"
+#include "workload/experiment.h"
+
+using namespace ibsec;
+using workload::KeyManagement;
+using workload::ScenarioConfig;
+
+int main() {
+  std::printf("=== Ablation: MAC algorithm inside the ICRC field "
+              "(350 MHz crypto block, 1024 B messages) ===\n\n");
+
+  struct Candidate {
+    const char* name;
+    crypto::AuthAlgorithm alg;
+    double cycles_per_byte;  // Table 4
+  };
+  const std::vector<Candidate> candidates = {
+      {"none (plain ICRC)", crypto::AuthAlgorithm::kNone, 0.0},
+      {"UMAC-32", crypto::AuthAlgorithm::kUmac32, 0.7},
+      // PMAC with a pipelined AES core ([39]-class hardware): ~1.25 c/B.
+      {"PMAC-AES", crypto::AuthAlgorithm::kPmac, 1.25},
+      {"HMAC-MD5", crypto::AuthAlgorithm::kHmacMd5, 5.3},
+      {"HMAC-SHA1", crypto::AuthAlgorithm::kHmacSha1, 12.6},
+  };
+  const double crypto_clock_hz = 350e6;
+
+  std::vector<ScenarioConfig> configs;
+  for (const Candidate& c : candidates) {
+    ScenarioConfig cfg;
+    cfg.seed = 808;
+    cfg.duration = 5 * time_literals::kMillisecond;
+    cfg.enable_realtime = false;
+    cfg.best_effort_load = 0.5;
+    cfg.fabric.link.buffer_bytes_per_vl = 2176;
+    if (c.alg != crypto::AuthAlgorithm::kNone) {
+      cfg.key_management = KeyManagement::kPartitionLevel;
+      cfg.auth_enabled = true;
+      cfg.auth_alg = c.alg;
+      const double seconds =
+          1024.0 * c.cycles_per_byte / crypto_clock_hz;
+      cfg.per_message_auth_overhead =
+          static_cast<SimTime>(seconds * 1e12);  // ps
+    }
+    configs.push_back(cfg);
+  }
+
+  const auto results = workload::run_sweep(configs);
+
+  std::printf("%-20s %16s %12s %12s %10s\n", "Algorithm", "MAC stage (us)",
+              "Queue (us)", "Net (us)", "delivered");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& r = results[i];
+    const SimTime stage =
+        configs[i].auth_enabled ? configs[i].per_message_auth_overhead : 0;
+    std::printf("%-20s %16.3f %12.2f %12.2f %10llu\n", candidates[i].name,
+                to_microseconds(stage),
+                r.best_effort.queuing_us.mean(),
+                r.best_effort.latency_us.mean(),
+                static_cast<unsigned long long>(r.delivered));
+  }
+
+  // Shape: UMAC within noise of the baseline; HMAC-SHA1's per-message stage
+  // (~37 us > the 3.4 us serialization slot) visibly degrades service.
+  const double base_q = results[0].best_effort.queuing_us.mean();
+  const double umac_q = results[1].best_effort.queuing_us.mean();
+  const double sha_q = results[4].best_effort.queuing_us.mean();
+  std::printf("\nUMAC ~ baseline (%.2f vs %.2f us), HMAC-SHA1 degraded "
+              "(%.2f us): %s\n",
+              umac_q, base_q, sha_q,
+              (umac_q < base_q + 10.0 && sha_q > umac_q)
+                  ? "CONFIRMED"
+                  : "NOT CONFIRMED");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation — the attack SIF cannot stop, and the defence that can.
+//
+// Paper sec. 7: "Dumping traffic only with a valid P_Key. Since this attack
+// uses a valid P_Key, any ingress filtering is useless." We reproduce the
+// attack (compromised members flooding their own partition with their
+// legitimate P_Key) and compare three postures:
+//
+//   1. SIF            — blind to it: no receiver ever traps.
+//   2. ingress cap    — token-bucket admission control at HCA-facing switch
+//                       ports bounds any single node's injection share.
+//   3. both           — layered: SIF for invalid keys, caps for valid ones.
+//
+// The interesting numbers: honest traffic's delay under each posture and
+// how much attack traffic the cap absorbs at the first hop.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/experiment.h"
+
+using namespace ibsec;
+using fabric::FilterMode;
+using workload::ScenarioConfig;
+
+int main() {
+  std::printf("=== Ablation: valid-P_Key flood — SIF vs ingress rate "
+              "limiting (sec. 7) ===\n\n");
+
+  struct Posture {
+    const char* name;
+    FilterMode filter;
+    double cap;  // ingress fraction, 0 = off
+  };
+  const std::vector<Posture> postures = {
+      {"no defence", FilterMode::kNone, 0.0},
+      {"SIF only", FilterMode::kSif, 0.0},
+      {"ingress cap 60%", FilterMode::kNone, 0.6},
+      {"SIF + cap 60%", FilterMode::kSif, 0.6},
+  };
+
+  std::vector<ScenarioConfig> configs;
+  for (const Posture& p : postures) {
+    ScenarioConfig cfg;
+    cfg.seed = 1111;
+    cfg.duration = 5 * time_literals::kMillisecond;
+    cfg.enable_realtime = false;
+    cfg.best_effort_load = 0.4;
+    cfg.fabric.link.buffer_bytes_per_vl = 2176;
+    cfg.num_attackers = 2;
+    cfg.attack_with_valid_pkey = true;  // the sec. 7 attack
+    cfg.attack_vl = fabric::kBestEffortVl;
+    cfg.fabric.filter_mode = p.filter;
+    cfg.fabric.ingress_rate_limit_fraction = p.cap;
+    configs.push_back(cfg);
+  }
+  const auto results = workload::run_sweep(configs);
+
+  std::printf("%-18s %12s %12s %14s %12s %12s\n", "Posture", "Queue (us)",
+              "Net (us)", "rate-limited", "SIF drops", "traps");
+  for (std::size_t i = 0; i < postures.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-18s %12.2f %12.2f %14llu %12llu %12llu\n",
+                postures[i].name, r.best_effort.queuing_us.mean(),
+                r.best_effort.latency_us.mean(),
+                static_cast<unsigned long long>(r.rate_limited),
+                static_cast<unsigned long long>(r.switch_filter_drops),
+                static_cast<unsigned long long>(r.sm_traps_received));
+  }
+
+  // Shape: SIF alone changes nothing (no traps fire); the ingress cap
+  // absorbs attack traffic at the first hop and improves honest delay.
+  const double undefended = results[0].best_effort.queuing_us.mean();
+  const double sif_only = results[1].best_effort.queuing_us.mean();
+  const double capped = results[2].best_effort.queuing_us.mean();
+  const bool reproduced = results[1].sm_traps_received == 0 &&
+                          std::abs(sif_only - undefended) < 2.0 &&
+                          capped < 0.7 * undefended &&
+                          results[2].rate_limited > 0;
+  std::printf("\nSIF blind to valid-P_Key floods (0 traps, delay unchanged); "
+              "ingress cap restores service: %s\n",
+              reproduced ? "CONFIRMED" : "NOT CONFIRMED");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the figure/table benches: consistent table printing and
+// the Table 1 parameter banner every experiment leads with.
+#pragma once
+
+#include <cstdio>
+
+#include "workload/scenario.h"
+
+namespace ibsec::bench {
+
+inline void print_testbed_banner(const fabric::FabricConfig& cfg) {
+  std::printf("Testbed (paper Table 1):\n");
+  std::printf("  Physical link bandwidth : %.1f Gbps\n",
+              static_cast<double>(cfg.link.bandwidth_bps) / 1e9);
+  std::printf("  Switch ports            : 5\n");
+  std::printf("  VLs per physical link   : %d\n", cfg.link.num_vls);
+  std::printf("  MTU                     : %zu bytes\n", cfg.mtu_bytes);
+  std::printf("  Topology                : %dx%d mesh, %d nodes\n",
+              cfg.mesh_width, cfg.mesh_height, cfg.node_count());
+  std::printf("\n");
+}
+
+inline void print_class_row(const char* label,
+                            const workload::ClassMetrics& m) {
+  std::printf("%-28s queuing %8.2f us (sd %7.2f)   network %8.2f us (sd %7.2f)   n=%llu\n",
+              label, m.queuing_us.mean(), m.queuing_us.stddev(),
+              m.latency_us.mean(), m.latency_us.stddev(),
+              static_cast<unsigned long long>(m.queuing_us.count()));
+}
+
+}  // namespace ibsec::bench

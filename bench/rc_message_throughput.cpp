@@ -1,0 +1,112 @@
+// RC large-message throughput — does per-segment authentication keep line
+// rate?
+//
+// A single RC connection streams large messages (segmented into SEND
+// First/Middle/Last packets at the 1024 B MTU) across one switch hop, with
+// and without UMAC tags in each segment's ICRC field. The 2.5 Gb/s 1x link
+// is the bound; authentication must not move the achieved goodput (the
+// paper's claim that UMAC keeps up with IBA link speed, sec. 6, applied to
+// the segmented path).
+#include <cstdio>
+
+#include "security/auth_engine.h"
+#include "security/qp_key_manager.h"
+#include "transport/subnet_manager.h"
+
+using namespace ibsec;
+using namespace ibsec::time_literals;
+
+namespace {
+
+struct RunResult {
+  double goodput_gbps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t signed_packets = 0;
+};
+
+RunResult run(bool with_auth, std::size_t message_bytes) {
+  fabric::FabricConfig fcfg;
+  fcfg.mesh_width = 2;
+  fcfg.mesh_height = 1;
+  fabric::Fabric fabric(fcfg);
+  transport::PkiDirectory pki;
+  transport::ChannelAdapter ca0(fabric, 0, pki, 1, 256);
+  transport::ChannelAdapter ca1(fabric, 1, pki, 1, 256);
+
+  auto& a = ca0.create_qp(transport::ServiceType::kReliableConnection,
+                          ib::kDefaultPKey);
+  auto& b = ca1.create_qp(transport::ServiceType::kReliableConnection,
+                          ib::kDefaultPKey);
+  ca0.bind_rc(a.qpn, 1, b.qpn);
+  ca1.bind_rc(b.qpn, 0, a.qpn);
+
+  std::unique_ptr<security::AuthEngine> e0, e1;
+  std::unique_ptr<security::QpKeyManager> k0, k1;
+  if (with_auth) {
+    e0 = std::make_unique<security::AuthEngine>(ca0);
+    e1 = std::make_unique<security::AuthEngine>(ca1);
+    k0 = std::make_unique<security::QpKeyManager>(ca0);
+    k1 = std::make_unique<security::QpKeyManager>(ca1);
+    e0->set_key_manager(k0.get());
+    e1->set_key_manager(k1.get());
+    e0->enable_for_partition(ib::kDefaultPKey);
+    e1->enable_for_partition(ib::kDefaultPKey);
+    k0->establish_rc(a.qpn, 1, b.qpn);
+    fabric.simulator().run();
+  }
+
+  RunResult result;
+  std::uint64_t bytes_received = 0;
+  ca1.set_message_handler(
+      [&](std::vector<std::uint8_t> msg, const transport::QueuePair&) {
+        bytes_received += msg.size();
+        ++result.messages;
+      });
+
+  // Keep the pipe saturated: post the next message when the previous one's
+  // segments have drained into the HCA (simple open-loop with a cap).
+  const SimTime duration = 4 * kMillisecond;
+  const std::vector<std::uint8_t> message(message_bytes, 0x5C);
+  auto& sim = fabric.simulator();
+  std::function<void()> pump = [&] {
+    if (sim.now() >= duration) return;
+    if (ca0.hca().send_queue_depth(fabric::kBestEffortVl) < 8) {
+      ca0.post_message(a.qpn, message,
+                       ib::PacketMeta::TrafficClass::kBestEffort);
+    }
+    sim.after(10 * time_literals::kMicrosecond, pump);
+  };
+  pump();
+  sim.run_until(duration);
+
+  result.goodput_gbps =
+      static_cast<double>(bytes_received) * 8.0 /
+      (static_cast<double>(duration) / 1e12) / 1e9;
+  if (e0) result.signed_packets = e0->stats().signed_packets;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== RC large-message throughput with per-segment "
+              "authentication ===\n\n");
+  std::printf("%-12s %-10s %12s %12s %14s\n", "Message", "Auth",
+              "Goodput Gb/s", "messages", "signed pkts");
+  bool reproduced = true;
+  for (std::size_t size : {4096u, 16384u, 65536u}) {
+    const RunResult plain = run(false, size);
+    const RunResult authed = run(true, size);
+    std::printf("%-12zu %-10s %12.3f %12llu %14s\n", size, "off",
+                plain.goodput_gbps,
+                static_cast<unsigned long long>(plain.messages), "-");
+    std::printf("%-12zu %-10s %12.3f %12llu %14llu\n", size, "umac",
+                authed.goodput_gbps,
+                static_cast<unsigned long long>(authed.messages),
+                static_cast<unsigned long long>(authed.signed_packets));
+    if (authed.goodput_gbps < 0.98 * plain.goodput_gbps) reproduced = false;
+  }
+  std::printf("\nPer-segment UMAC tags cost zero goodput at line rate: %s\n",
+              reproduced ? "CONFIRMED" : "NOT CONFIRMED");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 4 companion — empirical tag-collision rates.
+//
+// Table 4's forgery column is analytic (2^-30 provable for UMAC-32, ~2^-32
+// for truncated HMAC, 1 for CRC). This bench measures the observable
+// counterpart: hash N random distinct messages under one key and count
+// pairwise tag collisions. An ideal 32-bit tag collides ~C(N,2)/2^32 times;
+// a broken construction shows up as an excess. CRC-32 is also ideal *here*
+// (random inputs!) — its forgery probability of 1 comes from keylessness,
+// not from collisions, which the stream-MAC forgery test demonstrates.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/mac.h"
+
+using namespace ibsec;
+
+namespace {
+
+constexpr std::size_t kMessages = 1 << 19;  // 524288
+constexpr std::size_t kMessageBytes = 64;
+
+std::size_t count_collisions(std::vector<std::uint32_t>& tags) {
+  std::sort(tags.begin(), tags.end());
+  std::size_t collisions = 0;
+  for (std::size_t i = 1; i < tags.size(); ++i) {
+    if (tags[i] == tags[i - 1]) ++collisions;
+  }
+  return collisions;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 4 companion: empirical 32-bit tag collisions "
+              "(%zu random %zu-byte messages) ===\n\n",
+              kMessages, kMessageBytes);
+  const double expected =
+      static_cast<double>(kMessages) * (kMessages - 1) / 2.0 / 4294967296.0;
+  std::printf("ideal 32-bit tag expectation: %.1f collisions\n\n", expected);
+
+  std::printf("%-16s %12s %14s\n", "Algorithm", "collisions", "vs ideal");
+  bool all_sane = true;
+  for (auto alg :
+       {crypto::AuthAlgorithm::kNone, crypto::AuthAlgorithm::kUmac32,
+        crypto::AuthAlgorithm::kHmacMd5, crypto::AuthAlgorithm::kHmacSha1,
+        crypto::AuthAlgorithm::kHmacSha256, crypto::AuthAlgorithm::kPmac}) {
+    const auto mac = crypto::make_mac(
+        alg, std::vector<std::uint8_t>(16, 0x42));
+    Rng rng(991);
+    std::vector<std::uint32_t> tags;
+    tags.reserve(kMessages);
+    std::vector<std::uint8_t> msg(kMessageBytes);
+    for (std::size_t i = 0; i < kMessages; ++i) {
+      for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u32());
+      tags.push_back(mac->tag32(msg, /*nonce=*/7));
+    }
+    const std::size_t collisions = count_collisions(tags);
+    const double ratio = static_cast<double>(collisions) / expected;
+    std::printf("%-16s %12zu %13.2fx\n",
+                std::string(crypto::to_string(alg)).c_str(), collisions,
+                ratio);
+    // Within 3x of the birthday bound counts as unbiased at this sample.
+    if (ratio > 3.0) all_sane = false;
+  }
+
+  std::printf("\nEvery tag32 behaves as an unbiased 32-bit hash on random "
+              "inputs: %s\n", all_sane ? "CONFIRMED" : "NOT CONFIRMED");
+  std::printf("(CRC-32's 'forgery probability 1' is keylessness, not "
+              "collision bias — see tests/test_stream_mac.cpp for the "
+              "constructive forgery.)\n");
+  return 0;
+}

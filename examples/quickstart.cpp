@@ -1,0 +1,80 @@
+// Quickstart — the library in ~80 lines.
+//
+// Builds the paper's 16-node InfiniBand mesh, brings up channel adapters
+// and a subnet manager, creates a partition, and sends an authenticated
+// message whose UMAC tag rides in the ICRC field.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "security/auth_engine.h"
+#include "security/partition_key_manager.h"
+#include "transport/subnet_manager.h"
+
+using namespace ibsec;
+
+int main() {
+  // 1. The fabric: Table 1 parameters by default (2.5 Gbps 1x links, 16 VLs,
+  //    1024 B MTU, 4x4 mesh of 5-port switches).
+  fabric::FabricConfig config;
+  fabric::Fabric fabric(config);
+
+  // 2. One channel adapter per node. Each generates an RSA identity and
+  //    registers it in the PKI directory (the paper's "SM knows public keys
+  //    of all CAs" assumption, built for real).
+  transport::PkiDirectory pki;
+  std::vector<std::unique_ptr<transport::ChannelAdapter>> cas;
+  for (int node = 0; node < fabric.node_count(); ++node) {
+    cas.push_back(std::make_unique<transport::ChannelAdapter>(
+        fabric, node, pki, /*key_seed=*/1));
+  }
+
+  // 3. The subnet manager: M_Keys, a partition over nodes {1, 5, 9}.
+  std::vector<transport::ChannelAdapter*> ca_ptrs;
+  for (auto& ca : cas) ca_ptrs.push_back(ca.get());
+  transport::SubnetManager sm(fabric, ca_ptrs, /*sm_node=*/0, /*seed=*/1);
+  sm.assign_m_keys();
+  constexpr ib::PKeyValue kPartition = 0x8042;
+  sm.create_partition(kPartition, {1, 5, 9});
+
+  // 4. Authentication: partition-level key management + ICRC-as-MAC.
+  std::vector<std::unique_ptr<security::AuthEngine>> engines;
+  std::vector<std::unique_ptr<security::PartitionKeyManager>> keys;
+  for (auto& ca : cas) {
+    engines.push_back(std::make_unique<security::AuthEngine>(*ca));
+    keys.push_back(std::make_unique<security::PartitionKeyManager>(*ca));
+    engines.back()->set_key_manager(keys.back().get());
+    engines.back()->enable_for_partition(kPartition);  // on-demand service
+  }
+  sm.distribute_partition_secret(kPartition, crypto::AuthAlgorithm::kUmac32);
+  fabric.simulator().run();  // let the key-distribution MADs land
+  std::printf("partition secret installed at node 5: %s\n",
+              keys[5]->has_secret(kPartition) ? "yes" : "no");
+
+  // 5. A datagram QP on node 5 and a message from node 1.
+  auto& dst_qp = cas[5]->create_qp(
+      transport::ServiceType::kUnreliableDatagram, kPartition);
+  auto& src_qp = cas[1]->create_qp(
+      transport::ServiceType::kUnreliableDatagram, kPartition);
+  cas[5]->set_receive_handler(
+      [&](const ib::Packet& pkt, const transport::QueuePair&) {
+        std::printf("node 5 received %zu bytes, auth algorithm %u, "
+                    "delivered %.2f us after injection\n",
+                    pkt.payload.size(), pkt.bth.resv8a,
+                    to_microseconds(pkt.meta.delivered_at -
+                                    pkt.meta.injected_at));
+      });
+
+  const std::string text = "hello over authenticated InfiniBand";
+  cas[1]->post_send(src_qp.qpn,
+                    std::vector<std::uint8_t>(text.begin(), text.end()),
+                    ib::PacketMeta::TrafficClass::kBestEffort,
+                    /*dst_node=*/5, dst_qp.qpn, dst_qp.qkey);
+  fabric.simulator().run();
+
+  std::printf("node 1 signed %llu packet(s); node 5 verified %llu\n",
+              static_cast<unsigned long long>(engines[1]->stats().signed_packets),
+              static_cast<unsigned long long>(engines[5]->stats().verified_ok));
+  return 0;
+}

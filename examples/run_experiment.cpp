@@ -1,0 +1,197 @@
+// run_experiment — command-line scenario runner.
+//
+// A downstream user's entry point for exploring the parameter space without
+// writing C++: every knob the figure benches sweep is exposed as a flag.
+//
+//   run_experiment --load 0.5 --attackers 4 --filter sif --duration-ms 10
+//   run_experiment --auth qp --alg umac --replay --seed 7
+//
+// Prints the scenario configuration, the per-class delay statistics
+// (mean/sd/p50/p99), and the security counters.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
+
+using namespace ibsec;
+
+namespace {
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seed N             RNG seed (default 1)\n"
+      "  --duration-ms N      measured duration (default 5)\n"
+      "  --load F             best-effort injection fraction (default 0.4)\n"
+      "  --realtime F         realtime CBR fraction, 0 disables (default 0)\n"
+      "  --attackers N        compromised nodes flooding bad P_Keys (default 0)\n"
+      "  --attack-duty F      fraction of time attack bursts are active (default 1)\n"
+      "  --filter MODE        none|dpt|if|sif (default none)\n"
+      "  --auth SCHEME        off|partition|qp (default off)\n"
+      "  --alg MAC            umac|hmac-md5|hmac-sha1|hmac-sha256|pmac (default umac)\n"
+      "  --replay             enable the PSN replay window\n"
+      "  --buffer-mtus N      per-VL credit depth in MTU packets (default 4)\n"
+      "  --partitions N       number of random partitions (default 4)\n"
+      "  --rate-limit F       ingress admission cap fraction, 0 = off\n"
+      "  --valid-pkey-attack  attackers flood with their own valid P_Key\n"
+      "  --trace FILE         write a per-packet CSV trace\n",
+      prog);
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  workload::ScenarioConfig cfg;
+  cfg.seed = 1;
+  cfg.duration = 5 * time_literals::kMillisecond;
+  cfg.enable_realtime = false;
+  cfg.best_effort_load = 0.4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    double value = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--duration-ms" && parse_double(next(), value)) {
+      cfg.duration = static_cast<SimTime>(value * 1e9);
+    } else if (arg == "--load" && parse_double(next(), value)) {
+      cfg.best_effort_load = value;
+      cfg.enable_best_effort = value > 0;
+    } else if (arg == "--realtime" && parse_double(next(), value)) {
+      cfg.realtime_rate = value;
+      cfg.enable_realtime = value > 0;
+    } else if (arg == "--attackers") {
+      cfg.num_attackers = std::atoi(next());
+    } else if (arg == "--attack-duty" && parse_double(next(), value)) {
+      cfg.attack_probability = value;
+    } else if (arg == "--buffer-mtus") {
+      cfg.fabric.link.buffer_bytes_per_vl =
+          static_cast<std::size_t>(std::atoi(next())) * 1088;
+    } else if (arg == "--partitions") {
+      cfg.num_partitions = std::atoi(next());
+    } else if (arg == "--filter") {
+      const std::string mode = next();
+      if (mode == "none") cfg.fabric.filter_mode = fabric::FilterMode::kNone;
+      else if (mode == "dpt") cfg.fabric.filter_mode = fabric::FilterMode::kDpt;
+      else if (mode == "if") cfg.fabric.filter_mode = fabric::FilterMode::kIf;
+      else if (mode == "sif") cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+      else { std::fprintf(stderr, "bad --filter %s\n", mode.c_str()); return 2; }
+    } else if (arg == "--auth") {
+      const std::string scheme = next();
+      if (scheme == "off") {
+        cfg.key_management = workload::KeyManagement::kNone;
+      } else if (scheme == "partition") {
+        cfg.key_management = workload::KeyManagement::kPartitionLevel;
+        cfg.auth_enabled = true;
+      } else if (scheme == "qp") {
+        cfg.key_management = workload::KeyManagement::kQpLevel;
+        cfg.auth_enabled = true;
+      } else {
+        std::fprintf(stderr, "bad --auth %s\n", scheme.c_str());
+        return 2;
+      }
+    } else if (arg == "--alg") {
+      const std::string alg = next();
+      if (alg == "umac") cfg.auth_alg = crypto::AuthAlgorithm::kUmac32;
+      else if (alg == "hmac-md5") cfg.auth_alg = crypto::AuthAlgorithm::kHmacMd5;
+      else if (alg == "hmac-sha1") cfg.auth_alg = crypto::AuthAlgorithm::kHmacSha1;
+      else if (alg == "hmac-sha256") cfg.auth_alg = crypto::AuthAlgorithm::kHmacSha256;
+      else if (alg == "pmac") cfg.auth_alg = crypto::AuthAlgorithm::kPmac;
+      else { std::fprintf(stderr, "bad --alg %s\n", alg.c_str()); return 2; }
+    } else if (arg == "--replay") {
+      cfg.replay_protection = true;
+    } else if (arg == "--rate-limit" && parse_double(next(), value)) {
+      cfg.fabric.ingress_rate_limit_fraction = value;
+    } else if (arg == "--valid-pkey-attack") {
+      cfg.attack_with_valid_pkey = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_testbed_banner(cfg.fabric);
+  std::printf("filter=%s attackers=%d duty=%.2f load=%.2f auth=%s alg=%s\n\n",
+              fabric::to_string(cfg.fabric.filter_mode), cfg.num_attackers,
+              cfg.attack_probability, cfg.best_effort_load,
+              cfg.key_management == workload::KeyManagement::kNone
+                  ? "off"
+                  : (cfg.key_management ==
+                             workload::KeyManagement::kPartitionLevel
+                         ? "partition"
+                         : "qp"),
+              std::string(crypto::to_string(cfg.auth_alg)).c_str());
+
+  workload::Scenario scenario(cfg);
+  workload::PacketTraceRecorder trace;
+  if (!trace_path.empty()) {
+    for (int node = 0; node < scenario.fabric().node_count(); ++node) {
+      scenario.ca(node).set_delivery_probe([&](const ib::Packet& pkt) {
+        scenario.metrics().record(pkt);
+        trace.record(pkt);
+      });
+    }
+  }
+  const auto r = scenario.run();
+  if (!trace_path.empty()) {
+    if (trace.write_csv_file(trace_path)) {
+      std::printf("trace: wrote %zu rows to %s\n", trace.rows().size(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+    }
+  }
+
+  const auto print_class = [](const char* name,
+                              const workload::ClassMetrics& m) {
+    if (m.queuing_us.count() == 0) return;
+    std::printf("%-12s n=%-8llu queue %8.2f us (sd %7.2f)  net %7.2f us  "
+                "total p50 %7.2f  p99 %8.2f\n",
+                name, static_cast<unsigned long long>(m.queuing_us.count()),
+                m.queuing_us.mean(), m.queuing_us.stddev(),
+                m.latency_us.mean(), m.total_p50(), m.total_p99());
+  };
+  print_class("realtime", r.realtime);
+  print_class("best-effort", r.best_effort);
+
+  std::printf("\nattack packets    %llu\n",
+              static_cast<unsigned long long>(r.attack_packets));
+  std::printf("switch drops      %llu (lookups %llu, table mem %zu B)\n",
+              static_cast<unsigned long long>(r.switch_filter_drops),
+              static_cast<unsigned long long>(r.switch_filter_lookups),
+              r.switch_table_memory);
+  std::printf("HCA violations    %llu (traps %llu, SIF installs %llu)\n",
+              static_cast<unsigned long long>(r.hca_pkey_violations),
+              static_cast<unsigned long long>(r.sm_traps_received),
+              static_cast<unsigned long long>(r.sif_installs));
+  std::printf("delivered         %llu (auth rejected %llu)\n",
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.auth_rejected));
+  std::printf("max link util     %.1f%%\n",
+              100.0 * scenario.fabric().max_link_utilization());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Secure partition — partition-level key management end to end.
+//
+// The SM creates a partition for a "classified" job, generates a partition
+// secret, and distributes it RSA-wrapped to each member CA (paper sec. 4.2).
+// Members then exchange UMAC-authenticated messages. A compromised node
+// that captured the partition's P_Key *and* a member Q_Key — enough to walk
+// into a stock IBA partition — is shown failing against the MAC, and the
+// on-demand nature of the service is demonstrated by disabling
+// authentication for the partition at runtime.
+#include <cstdio>
+
+#include "common/hex.h"
+#include "security/auth_engine.h"
+#include "security/partition_key_manager.h"
+#include "transport/subnet_manager.h"
+
+using namespace ibsec;
+
+int main() {
+  fabric::FabricConfig config;
+  fabric::Fabric fabric(config);
+  transport::PkiDirectory pki;
+  std::vector<std::unique_ptr<transport::ChannelAdapter>> cas;
+  for (int node = 0; node < fabric.node_count(); ++node) {
+    cas.push_back(
+        std::make_unique<transport::ChannelAdapter>(fabric, node, pki, 7));
+  }
+  std::vector<transport::ChannelAdapter*> ptrs;
+  for (auto& ca : cas) ptrs.push_back(ca.get());
+  transport::SubnetManager sm(fabric, ptrs, 0, 7);
+  sm.assign_m_keys();
+
+  constexpr ib::PKeyValue kClassified = 0x8777;
+  sm.create_partition(kClassified, {2, 7, 11});
+
+  std::vector<std::unique_ptr<security::AuthEngine>> engines;
+  std::vector<std::unique_ptr<security::PartitionKeyManager>> keys;
+  for (auto& ca : cas) {
+    engines.push_back(std::make_unique<security::AuthEngine>(*ca));
+    keys.push_back(std::make_unique<security::PartitionKeyManager>(*ca));
+    engines.back()->set_key_manager(keys.back().get());
+    engines.back()->enable_for_partition(kClassified);
+  }
+  std::printf("[SM] distributing partition secret (RSA-wrapped per member)\n");
+  sm.distribute_partition_secret(kClassified, crypto::AuthAlgorithm::kUmac32);
+  fabric.simulator().run();
+  for (int member : {2, 7, 11}) {
+    std::printf("  node %-2d has secret: %s\n", member,
+                keys[static_cast<std::size_t>(member)]->has_secret(kClassified)
+                    ? "yes" : "NO");
+  }
+
+  auto& server_qp = cas[7]->create_qp(
+      transport::ServiceType::kUnreliableDatagram, kClassified);
+  auto& client_qp = cas[2]->create_qp(
+      transport::ServiceType::kUnreliableDatagram, kClassified);
+  int delivered = 0;
+  cas[7]->set_receive_handler(
+      [&](const ib::Packet& pkt, const transport::QueuePair&) {
+        ++delivered;
+        std::printf("[node 7] accepted \"%s\" (alg id %u in BTH.resv8a)\n",
+                    std::string(pkt.payload.begin(), pkt.payload.end()).c_str(),
+                    pkt.bth.resv8a);
+      });
+
+  std::printf("\n[node 2] sending classified message...\n");
+  cas[2]->post_send(client_qp.qpn, ascii_bytes("quarterly numbers"),
+                    ib::PacketMeta::TrafficClass::kBestEffort, 7,
+                    server_qp.qpn, server_qp.qkey);
+  fabric.simulator().run();
+
+  // The attacker owns node 4 and has sniffed the P_Key AND the Q_Key.
+  std::printf("\n[node 4 = attacker] forging with captured P_Key + Q_Key...\n");
+  ib::Packet forged;
+  forged.lrh.vl = fabric::kBestEffortVl;
+  forged.lrh.slid = fabric.lid_of_node(4);
+  forged.lrh.dlid = fabric.lid_of_node(7);
+  forged.bth.opcode = ib::OpCode::kUdSendOnly;
+  forged.bth.pkey = kClassified;
+  forged.bth.dest_qp = server_qp.qpn;
+  forged.deth = ib::Deth{server_qp.qkey, 3};
+  forged.payload = ascii_bytes("fake numbers");
+  forged.finalize();  // attacker can only produce a plain ICRC
+  cas[4]->inject_raw(std::move(forged));
+  fabric.simulator().run();
+  std::printf("[node 7] rejected unauthenticated packets: %llu "
+              "(delivered stays %d)\n",
+              static_cast<unsigned long long>(
+                  cas[7]->counters().auth_unauthenticated),
+              delivered);
+
+  // On-demand service: the administrator turns authentication off for the
+  // partition — the same plain packet now passes (and the members fall back
+  // to plain ICRC automatically).
+  std::printf("\n[admin] disabling authentication for the partition...\n");
+  for (auto& engine : engines) engine->disable_for_partition(kClassified);
+  cas[2]->post_send(client_qp.qpn, ascii_bytes("now in the clear"),
+                    ib::PacketMeta::TrafficClass::kBestEffort, 7,
+                    server_qp.qpn, server_qp.qkey);
+  fabric.simulator().run();
+  std::printf("total delivered at node 7: %d (second message arrived with "
+              "plain ICRC)\n", delivered);
+  return 0;
+}

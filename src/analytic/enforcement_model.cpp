@@ -1,0 +1,22 @@
+#include "analytic/enforcement_model.h"
+
+#include <algorithm>
+
+namespace ibsec::analytic {
+
+std::vector<EnforcementRow> enforcement_table(const EnforcementParams& p) {
+  const double n = static_cast<double>(p.nodes);
+  const double s = static_cast<double>(p.switches);
+  const double part = static_cast<double>(p.partitions_per_node);
+  const double pr = p.attack_probability;
+  const double invalid = std::min(p.avg_invalid_entries, part);
+
+  std::vector<EnforcementRow> rows;
+  rows.push_back({"DPT", n * part, n * part * s, p.lookup_cost(n * part)});
+  rows.push_back({"IF", part, part * n, p.lookup_cost(part)});
+  rows.push_back({"SIF", part + pr * invalid, part * n + pr * invalid * n,
+                  pr * p.lookup_cost(invalid)});
+  return rows;
+}
+
+}  // namespace ibsec::analytic

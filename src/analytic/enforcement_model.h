@@ -1,0 +1,46 @@
+// Analytic model of partition-enforcement overhead — the paper's Table 2.
+//
+// Network of n nodes and s switches; every node joins p partitions; f(i) is
+// the cost of one lookup in a table of i entries; Pr(n) is the probability a
+// node participates in a P_Key attack; Avg(p) the average Invalid_P_Key_Table
+// population while under attack.
+//
+//                memory/switch      memory(all)          lookups/packet
+//   DPT          n*p                n*p*s                f(n*p)
+//   IF           p                  p*n                  f(p)
+//   SIF          p + Pr*min(A,p)    p*n + Pr*min(A,p)*n  Pr * f(min(A,p))
+//
+// Memory is counted in table entries (multiply by 2 bytes/P_Key for bytes).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ibsec::analytic {
+
+struct EnforcementParams {
+  std::int64_t nodes = 16;          // n
+  std::int64_t switches = 16;       // s
+  std::int64_t partitions_per_node = 4;  // p
+  double attack_probability = 0.01;      // Pr(n)
+  double avg_invalid_entries = 4;        // Avg(p)
+  /// Lookup cost model f(i). Default: linear scan. The paper's CACTI
+  /// argument makes f ≡ 1 cycle for SRAM-sized tables; callers can pass
+  /// [](double){ return 1.0; } to reproduce that.
+  std::function<double(double)> lookup_cost = [](double i) { return i; };
+};
+
+struct EnforcementRow {
+  std::string scheme;
+  double memory_per_switch_entries;
+  double memory_all_switches_entries;
+  double lookups_per_packet;
+};
+
+/// The three Table 2 rows for the given parameters.
+std::vector<EnforcementRow> enforcement_table(const EnforcementParams& p);
+
+}  // namespace ibsec::analytic

@@ -1,0 +1,29 @@
+#include "analytic/mac_model.h"
+
+namespace ibsec::analytic {
+
+double mac_throughput_gbps(double cycles_per_byte, double clock_hz) {
+  // bytes/s = clock / (cycles/byte); bits = *8; Gb = /1e9.
+  return clock_hz / cycles_per_byte * 8.0 / 1e9;
+}
+
+std::vector<MacModelRow> paper_table4(double clock_mhz) {
+  const double clock_hz = clock_mhz * 1e6;
+  std::vector<MacModelRow> rows;
+  rows.push_back({"CRC", 0.25, mac_throughput_gbps(0.25, clock_hz), 0.0,
+                  "1"});
+  rows.push_back({"HMAC-SHA1", 12.6, mac_throughput_gbps(12.6, clock_hz),
+                  -32.0, "~2^-32"});
+  rows.push_back({"HMAC-MD5", 5.3, mac_throughput_gbps(5.3, clock_hz), -32.0,
+                  "~2^-32"});
+  rows.push_back({"UMAC-2/4", 0.7, mac_throughput_gbps(0.7, clock_hz), -30.0,
+                  "2^-30"});
+  return rows;
+}
+
+double required_clock_mhz(double cycles_per_byte, double link_gbps) {
+  // clock = link_bytes_per_sec * cycles_per_byte.
+  return link_gbps * 1e9 / 8.0 * cycles_per_byte / 1e6;
+}
+
+}  // namespace ibsec::analytic

@@ -1,0 +1,37 @@
+// Analytic model of MAC throughput and forgery strength — the paper's
+// Table 4 (sec. 5.2).
+//
+// Literature cycles/byte figures, normalized to a common clock on the
+// assumption that throughput is proportional to clock speed:
+//   CRC-32      0.25 c/B  (10 Gbps @ 312 MHz hardware, [33])
+//   HMAC-SHA1   12.6 c/B  (SHA-1 on a Pentium II, [2])
+//   HMAC-MD5    5.3  c/B  (Bosselaers via Adcock, [1,3])
+//   UMAC-2/4    0.7  c/B  (Rogaway's posted results, [21])
+// Forgery probability: CRC ~1 (no key), truncated HMAC ~2^-32, UMAC-32
+// provably 2^-30.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ibsec::analytic {
+
+struct MacModelRow {
+  std::string algorithm;
+  double cycles_per_byte;
+  double gbits_per_second;   ///< at the normalization clock
+  double forgery_log2;       ///< log2 of forgery probability (0 => certain)
+  std::string forgery_text;  ///< as printed in the paper
+};
+
+/// Gb/s for a cycles/byte figure at `clock_hz` (throughput ∝ clock).
+double mac_throughput_gbps(double cycles_per_byte, double clock_hz);
+
+/// The paper's four Table 4 rows, normalized to `clock_mhz` (paper: 350).
+std::vector<MacModelRow> paper_table4(double clock_mhz = 350.0);
+
+/// Minimum clock (MHz) at which an algorithm keeps up with a link rate.
+/// Used for the paper's claim that UMAC at 200 MHz matches IBA 1x speed.
+double required_clock_mhz(double cycles_per_byte, double link_gbps);
+
+}  // namespace ibsec::analytic

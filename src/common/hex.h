@@ -1,0 +1,22 @@
+// Hex encoding/decoding helpers, mainly for crypto test vectors and logs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibsec {
+
+/// Lower-case hex string of `data` ("" for empty input).
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parses a hex string (case-insensitive, even length, no separators).
+/// Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Bytes of an ASCII string, for feeding string test vectors to digests.
+std::vector<std::uint8_t> ascii_bytes(std::string_view s);
+
+}  // namespace ibsec

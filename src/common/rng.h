@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// The simulator must be reproducible: the same seed yields the same event
+// trace regardless of host, build flags, or how many experiments run in
+// parallel around it. We use xoshiro256** (Blackman & Vigna), which is fast,
+// has a 2^256-1 period, and passes BigCrush. This generator is for *workload*
+// randomness only; key material comes from crypto::CtrDrbg.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ibsec {
+
+/// xoshiro256** deterministic PRNG.
+///
+/// Satisfies UniformRandomBitGenerator so it can drive <random>
+/// distributions, but the helpers below are preferred in simulation code
+/// because their results are identical across standard-library
+/// implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a single 64-bit value via SplitMix64 (recommended by the
+  /// xoshiro authors to avoid correlated low-entropy states).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 random bits.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Next 32 random bits.
+  std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0). Used for
+  /// Poisson inter-arrival times of best-effort traffic.
+  double exponential(double mean);
+
+  /// Creates an independent child stream; deterministic function of the
+  /// parent's current state. Used to give each node its own stream so that
+  /// adding a node does not perturb the others' draws.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ibsec

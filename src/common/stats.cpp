@@ -1,0 +1,71 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ibsec {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double upper, int buckets)
+    : width_(upper / buckets), counts_(static_cast<std::size_t>(buckets), 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0) x = 0;
+  const auto idx = static_cast<std::size_t>(x / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+  } else {
+    ++counts_[idx];
+  }
+}
+
+double Histogram::percentile(double fraction) const {
+  if (total_ == 0) return 0.0;
+  const double target = fraction * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double inside =
+          counts_[i] ? (target - seen) / static_cast<double>(counts_[i]) : 0.0;
+      return (static_cast<double>(i) + inside) * width_;
+    }
+    seen = next;
+  }
+  return width_ * static_cast<double>(counts_.size());
+}
+
+}  // namespace ibsec

@@ -1,0 +1,63 @@
+// Streaming statistics accumulators used by the metrics subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ibsec {
+
+/// Single-pass mean / variance accumulator (Welford's algorithm).
+/// Numerically stable for the microsecond-scale latency samples the
+/// experiments collect.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction, Chan's
+  /// formula). Order-independent up to floating-point rounding.
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram for latency distributions (reporting only).
+class Histogram {
+ public:
+  /// Buckets span [0, upper) in `buckets` equal steps; values >= upper land
+  /// in the overflow bucket.
+  Histogram(double upper, int buckets);
+
+  void add(double x);
+  std::uint64_t bucket_count(int i) const { return counts_[i]; }
+  std::uint64_t overflow() const { return overflow_; }
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  double bucket_width() const { return width_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Value below which `fraction` of samples fall (linear interpolation
+  /// within the bucket). fraction in [0,1].
+  double percentile(double fraction) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ibsec

@@ -1,0 +1,50 @@
+// Fixed-size thread pool for running independent simulation configurations
+// in parallel. Each simulation instance is single-threaded and deterministic
+// given its seed; the pool only parallelizes *across* configurations, so
+// sweep results are identical regardless of worker count or scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ibsec {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by tasks)
+  /// has finished.
+  void wait_idle();
+
+  unsigned worker_count() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Convenience for embarrassingly parallel sweeps.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace ibsec

@@ -1,0 +1,349 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ibsec::crypto {
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t byte_index = bytes.size() - 1 - i;  // significance
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(bytes[byte_index])
+                         << (8 * (i % 4));
+  }
+  out.trim();
+  return out;
+}
+
+std::vector<std::uint8_t> BigInt::to_bytes_be() const {
+  if (is_zero()) return {};
+  const std::size_t bytes = (bit_length() + 7) / 8;
+  std::vector<std::uint8_t> out(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    const std::uint32_t limb = limbs_[i / 4];
+    out[bytes - 1 - i] = static_cast<std::uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  BigInt out;
+  for (char c : hex) {
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("BigInt::from_hex: invalid digit");
+    }
+    out = (out << 4) + BigInt(digit);
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      const auto nibble = (limbs_[i] >> shift) & 0xF;
+      if (leading && nibble == 0) continue;
+      leading = false;
+      out.push_back(kDigits[nibble]);
+    }
+  }
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+int BigInt::compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  if (*this < o) throw std::underflow_error("BigInt subtraction underflow");
+  BigInt out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return {};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(limbs_[i]) * o.limbs_[j] +
+          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + o.limbs_.size()] = static_cast<std::uint32_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t shifted = static_cast<std::uint64_t>(limbs_[i])
+                                  << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(shifted);
+    out.limbs_[i + limb_shift + 1] |=
+        static_cast<std::uint32_t>(shifted >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return {};
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t value = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      value |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+               << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(value);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt::DivMod BigInt::divmod(const BigInt& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigInt division by zero");
+  if (*this < divisor) return {BigInt{}, *this};
+  if (divisor.limbs_.size() == 1) {
+    // Single-limb fast path.
+    BigInt quotient;
+    quotient.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    const std::uint64_t d = divisor.limbs_[0];
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quotient.trim();
+    return {quotient, BigInt(rem)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D. Normalize so the divisor's top limb has
+  // its high bit set, making the 2-limb quotient estimate off by at most 2.
+  const std::size_t shift = 32 - (divisor.bit_length() % 32 == 0
+                                      ? 32
+                                      : divisor.bit_length() % 32);
+  const BigInt u = *this << shift;
+  const BigInt v = divisor << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+
+  BigInt quotient;
+  quotient.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = numerator / vn[n - 1];
+    std::uint64_t rhat = numerator % vn[n - 1];
+    while (qhat >= (std::uint64_t{1} << 32) ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= (std::uint64_t{1} << 32)) break;
+    }
+
+    // Multiply-and-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = qhat * vn[i] + carry;
+      carry = product >> 32;
+      const std::int64_t sub = static_cast<std::int64_t>(un[i + j]) -
+                               static_cast<std::int64_t>(product & 0xFFFFFFFFu) -
+                               borrow;
+      un[i + j] = static_cast<std::uint32_t>(sub);
+      borrow = sub < 0 ? 1 : 0;
+    }
+    const std::int64_t sub = static_cast<std::int64_t>(un[j + n]) -
+                             static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(sub);
+
+    if (sub < 0) {
+      // qhat was one too large: add v back.
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + add_carry;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        add_carry = s >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + add_carry);
+    }
+    quotient.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  quotient.trim();
+  BigInt remainder;
+  remainder.limbs_.assign(un.begin(), un.begin() + static_cast<long>(n));
+  remainder.trim();
+  remainder = remainder >> shift;
+  return {quotient, remainder};
+}
+
+std::uint32_t BigInt::mod_u32(std::uint32_t m) const {
+  if (m == 0) throw std::domain_error("BigInt mod by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % m;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+BigInt BigInt::modexp(const BigInt& base, const BigInt& exponent,
+                      const BigInt& modulus) {
+  if (modulus.is_zero()) throw std::domain_error("modexp: zero modulus");
+  BigInt result(1);
+  BigInt b = base % modulus;
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = (result * b) % modulus;
+    b = (b * b) % modulus;
+  }
+  return result % modulus;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+std::optional<BigInt> BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Iterative extended Euclid tracking only the coefficient of `a`, with
+  // signs managed explicitly since BigInt is unsigned.
+  BigInt old_r = a % m, r = m;
+  BigInt old_s(1), s(0);
+  bool old_s_neg = false, s_neg = false;
+  while (!r.is_zero()) {
+    const auto [q, rem] = old_r.divmod(r);
+    old_r = r;
+    r = rem;
+    // new_s = old_s - q * s  (signed)
+    BigInt qs = q * s;
+    BigInt new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      if (old_s >= qs) {
+        new_s = old_s - qs;
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_s_neg = old_s_neg;
+    }
+    old_s = s;
+    old_s_neg = s_neg;
+    s = new_s;
+    s_neg = new_s_neg;
+  }
+  if (old_r != BigInt(1)) return std::nullopt;
+  if (old_s_neg) return m - (old_s % m);
+  return old_s % m;
+}
+
+}  // namespace ibsec::crypto

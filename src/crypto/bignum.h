@@ -1,0 +1,109 @@
+// Arbitrary-precision unsigned integers for the RSA key-distribution path.
+//
+// The paper's key-management schemes assume the Subnet Manager can encrypt a
+// partition/QP secret to a Channel Adapter's public key ("we assume SM knows
+// public keys of all CAs"). We build that primitive from scratch: this
+// module supplies the non-negative big-integer arithmetic (schoolbook
+// multiply, Knuth Algorithm D division, binary extended GCD, square-and-
+// multiply modular exponentiation) that rsa.{h,cpp} composes into keygen and
+// encryption. Sizes in this codebase are <= 2048 bits, so asymptotically
+// fancy algorithms are deliberately omitted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibsec::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Big-endian byte import/export (no sign, leading zeros tolerated/omitted).
+  static BigInt from_bytes_be(std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> to_bytes_be() const;
+
+  static BigInt from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  int compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return compare(o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  /// Requires *this >= o (unsigned arithmetic); throws std::underflow_error.
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  struct DivMod;  // { quotient, remainder }; defined after the class
+  /// Knuth Algorithm D; throws std::domain_error on division by zero.
+  DivMod divmod(const BigInt& divisor) const;
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+
+  /// Remainder modulo a machine word (fast path for trial division).
+  std::uint32_t mod_u32(std::uint32_t m) const;
+
+  /// (base ^ exponent) mod modulus; modulus must be nonzero.
+  static BigInt modexp(const BigInt& base, const BigInt& exponent,
+                       const BigInt& modulus);
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Multiplicative inverse of a modulo m, if gcd(a, m) == 1.
+  static std::optional<BigInt> mod_inverse(const BigInt& a, const BigInt& m);
+
+  /// Uniform value in [0, bound) using caller-supplied random bytes source.
+  /// `random_bytes(n)` must return n bytes.
+  template <typename ByteSource>
+  static BigInt random_below(const BigInt& bound, ByteSource&& random_bytes) {
+    const std::size_t bits = bound.bit_length();
+    const std::size_t bytes = (bits + 7) / 8;
+    for (;;) {
+      std::vector<std::uint8_t> buf = random_bytes(bytes);
+      // Mask excess high bits so rejection succeeds quickly.
+      if (bits % 8 != 0) {
+        buf[0] &= static_cast<std::uint8_t>((1u << (bits % 8)) - 1);
+      }
+      BigInt candidate = from_bytes_be(buf);
+      if (candidate < bound) return candidate;
+    }
+  }
+
+ private:
+  void trim();
+
+  // Little-endian 32-bit limbs; empty means zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct BigInt::DivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+inline BigInt BigInt::operator/(const BigInt& o) const {
+  return divmod(o).quotient;
+}
+inline BigInt BigInt::operator%(const BigInt& o) const {
+  return divmod(o).remainder;
+}
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,49 @@
+#include "crypto/crc16.h"
+
+#include <array>
+
+namespace ibsec::crypto {
+namespace {
+
+// 0x100B reflected (bit-reversed over 16 bits) = 0xD008.
+constexpr std::uint16_t kPolyReflected = 0xD008u;
+
+constexpr std::array<std::uint16_t, 256> make_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint16_t crc = static_cast<std::uint16_t>(b);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint16_t>((crc >> 1) ^
+                                       ((crc & 1u) ? kPolyReflected : 0u));
+    }
+    table[b] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint16_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint16_t crc16_iba(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>((crc >> 8) ^
+                                     kTable[(crc ^ byte) & 0xFFu]);
+  }
+  return static_cast<std::uint16_t>(crc ^ 0xFFFFu);
+}
+
+std::uint16_t crc16_iba_reference(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xFFFFu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint16_t>((crc >> 1) ^
+                                       ((crc & 1u) ? kPolyReflected : 0u));
+    }
+  }
+  return static_cast<std::uint16_t>(crc ^ 0xFFFFu);
+}
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,20 @@
+// CRC-16 with the InfiniBand VCRC polynomial.
+//
+// IBA's Variant CRC covers the whole packet from LRH to the byte before the
+// VCRC and is recomputed at every switch hop (variant fields may change).
+// The spec's generator is x^16 + x^12 + x^3 + x + 1 (0x100B), CRC-16-IBA,
+// init 0xFFFF, reflected, final XOR 0xFFFF.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ibsec::crypto {
+
+/// One-shot VCRC over a byte range.
+std::uint16_t crc16_iba(std::span<const std::uint8_t> data);
+
+/// Bit-at-a-time reference implementation for differential tests.
+std::uint16_t crc16_iba_reference(std::span<const std::uint8_t> data);
+
+}  // namespace ibsec::crypto

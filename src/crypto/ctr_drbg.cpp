@@ -1,0 +1,74 @@
+#include "crypto/ctr_drbg.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ibsec::crypto {
+
+CtrDrbg::CtrDrbg(std::span<const std::uint8_t> seed) : cipher_(key_) {
+  std::array<std::uint8_t, 32> material{};
+  std::copy_n(seed.begin(), std::min<std::size_t>(seed.size(), 32),
+              material.begin());
+  std::copy_n(material.begin(), 16, key_.begin());
+  std::copy_n(material.begin() + 16, 16, counter_.begin());
+  cipher_ = Aes128(key_);
+  update();  // decorrelate the working state from the raw seed
+}
+
+CtrDrbg::CtrDrbg(std::uint64_t seed) : cipher_(key_) {
+  std::array<std::uint8_t, 32> material{};
+  for (int i = 0; i < 8; ++i) {
+    material[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+    // Duplicate into the counter half so a one-word seed still fills state.
+    material[static_cast<std::size_t>(16 + i)] =
+        static_cast<std::uint8_t>(~seed >> (8 * i));
+  }
+  std::copy_n(material.begin(), 16, key_.begin());
+  std::copy_n(material.begin() + 16, 16, counter_.begin());
+  cipher_ = Aes128(key_);
+  update();
+}
+
+void CtrDrbg::increment_counter() {
+  for (int i = 15; i >= 0; --i) {
+    if (++counter_[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+void CtrDrbg::generate(std::span<std::uint8_t> out) {
+  std::size_t produced = 0;
+  Aes128::Block block;
+  while (produced < out.size()) {
+    increment_counter();
+    cipher_.encrypt_block(counter_.data(), block.data());
+    const std::size_t take = std::min<std::size_t>(16, out.size() - produced);
+    std::memcpy(out.data() + produced, block.data(), take);
+    produced += take;
+  }
+  update();
+}
+
+void CtrDrbg::update() {
+  Aes128::Block new_key, new_counter;
+  increment_counter();
+  cipher_.encrypt_block(counter_.data(), new_key.data());
+  increment_counter();
+  cipher_.encrypt_block(counter_.data(), new_counter.data());
+  key_ = new_key;
+  counter_ = new_counter;
+  cipher_ = Aes128(key_);
+}
+
+std::uint64_t CtrDrbg::next_u64() {
+  std::array<std::uint8_t, 8> bytes{};
+  generate(std::span<std::uint8_t>(bytes));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace ibsec::crypto

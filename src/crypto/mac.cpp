@@ -1,0 +1,123 @@
+#include "crypto/mac.h"
+
+#include <stdexcept>
+
+#include "crypto/crc32.h"
+#include "crypto/hmac.h"
+#include "crypto/pmac.h"
+#include "crypto/sha256.h"
+#include "crypto/umac.h"
+
+namespace ibsec::crypto {
+namespace {
+
+void append_nonce_be(std::vector<std::uint8_t>& buf, std::uint64_t nonce) {
+  for (int i = 7; i >= 0; --i) {
+    buf.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
+  }
+}
+
+class CrcMac final : public MacFunction {
+ public:
+  std::uint32_t tag32(std::span<const std::uint8_t> message,
+                      std::uint64_t /*nonce*/) const override {
+    // Plain ICRC semantics: no key, no nonce — anyone can compute it, which
+    // is exactly the vulnerability the paper fixes.
+    return crc32(message);
+  }
+  AuthAlgorithm algorithm() const override { return AuthAlgorithm::kNone; }
+};
+
+template <typename Hash, AuthAlgorithm Alg>
+class HmacMac final : public MacFunction {
+ public:
+  explicit HmacMac(std::span<const std::uint8_t> key)
+      : key_(key.begin(), key.end()) {
+    if (key.size() != 16) {
+      throw std::invalid_argument("HMAC MAC: key must be 16 bytes");
+    }
+  }
+
+  std::uint32_t tag32(std::span<const std::uint8_t> message,
+                      std::uint64_t nonce) const override {
+    // The nonce (PSN) is appended to the authenticated stream so replayed
+    // payloads cannot reuse an old tag under a bumped sequence number.
+    std::vector<std::uint8_t> buf(message.begin(), message.end());
+    append_nonce_be(buf, nonce);
+    return Hmac<Hash>::truncated_tag32(key_, buf);
+  }
+  AuthAlgorithm algorithm() const override { return Alg; }
+
+ private:
+  std::vector<std::uint8_t> key_;
+};
+
+class PmacMac final : public MacFunction {
+ public:
+  explicit PmacMac(std::span<const std::uint8_t> key) : pmac_(key) {}
+
+  std::uint32_t tag32(std::span<const std::uint8_t> message,
+                      std::uint64_t nonce) const override {
+    return pmac_.tag32(message, nonce);
+  }
+  AuthAlgorithm algorithm() const override { return AuthAlgorithm::kPmac; }
+
+ private:
+  Pmac pmac_;
+};
+
+class UmacMac final : public MacFunction {
+ public:
+  explicit UmacMac(std::span<const std::uint8_t> key) : umac_(key) {}
+
+  std::uint32_t tag32(std::span<const std::uint8_t> message,
+                      std::uint64_t nonce) const override {
+    return umac_.tag(message, nonce);
+  }
+  AuthAlgorithm algorithm() const override { return AuthAlgorithm::kUmac32; }
+
+ private:
+  Umac32 umac_;
+};
+
+}  // namespace
+
+std::string_view to_string(AuthAlgorithm alg) {
+  switch (alg) {
+    case AuthAlgorithm::kNone:
+      return "icrc-crc32";
+    case AuthAlgorithm::kUmac32:
+      return "umac-32";
+    case AuthAlgorithm::kHmacMd5:
+      return "hmac-md5-32";
+    case AuthAlgorithm::kHmacSha1:
+      return "hmac-sha1-32";
+    case AuthAlgorithm::kPmac:
+      return "pmac-aes-32";
+    case AuthAlgorithm::kHmacSha256:
+      return "hmac-sha256-32";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<MacFunction> make_mac(AuthAlgorithm alg,
+                                      std::span<const std::uint8_t> key) {
+  switch (alg) {
+    case AuthAlgorithm::kNone:
+      return std::make_unique<CrcMac>();
+    case AuthAlgorithm::kUmac32:
+      return std::make_unique<UmacMac>(key);
+    case AuthAlgorithm::kHmacMd5:
+      return std::make_unique<HmacMac<Md5, AuthAlgorithm::kHmacMd5>>(key);
+    case AuthAlgorithm::kHmacSha1:
+      return std::make_unique<HmacMac<Sha1, AuthAlgorithm::kHmacSha1>>(key);
+    case AuthAlgorithm::kPmac:
+      return std::make_unique<PmacMac>(key);
+    case AuthAlgorithm::kHmacSha256:
+      return std::make_unique<HmacMac<Sha256, AuthAlgorithm::kHmacSha256>>(
+          key);
+  }
+  throw std::invalid_argument("make_mac: unknown algorithm");
+}
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,58 @@
+// Pluggable 32-bit message-authentication interface.
+//
+// The paper's mechanism stores a 32-bit Authentication Tag in the ICRC field
+// and identifies the algorithm via the BTH Reserved byte (0 = plain ICRC;
+// nonzero = MAC in use). This header defines that algorithm enumeration and
+// a uniform tag32(message, nonce) interface over the concrete algorithms
+// compared in Table 4. HMAC tags are the leftmost 32 bits of the full MAC
+// (RFC 2104 truncation); CRC-32 takes no key and ignores the nonce — it is
+// the compatibility/no-security baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ibsec::crypto {
+
+/// Wire identifier carried in the BTH Reserved byte.
+enum class AuthAlgorithm : std::uint8_t {
+  kNone = 0,       // plain ICRC (CRC-32), no authentication
+  kUmac32 = 1,     // UMAC, 32-bit tag (the paper's recommendation)
+  kHmacMd5 = 2,    // HMAC-MD5 truncated to 32 bits
+  kHmacSha1 = 3,   // HMAC-SHA1 truncated to 32 bits
+  kPmac = 4,       // PMAC over AES-128 (sec. 7 "parallelizable MAC")
+  kHmacSha256 = 5, // HMAC-SHA256 truncated to 32 bits (modern baseline)
+};
+
+std::string_view to_string(AuthAlgorithm alg);
+
+/// A keyed 32-bit tag generator. Implementations are immutable after
+/// construction and safe to share across threads.
+class MacFunction {
+ public:
+  virtual ~MacFunction() = default;
+
+  /// 32-bit tag over `message`. `nonce` must be unique per (key, message
+  /// instance) for UMAC; HMAC/CRC mix it into the stream so that replayed
+  /// payloads with new PSNs still produce fresh tags.
+  virtual std::uint32_t tag32(std::span<const std::uint8_t> message,
+                              std::uint64_t nonce) const = 0;
+
+  virtual AuthAlgorithm algorithm() const = 0;
+
+  bool verify(std::span<const std::uint8_t> message, std::uint64_t nonce,
+              std::uint32_t expected) const {
+    return tag32(message, nonce) == expected;
+  }
+};
+
+/// Creates a MAC for `alg`. `key` must be 16 bytes for every keyed
+/// algorithm; kNone ignores the key (CRC-32 of the message).
+/// Throws std::invalid_argument on a bad key length.
+std::unique_ptr<MacFunction> make_mac(AuthAlgorithm alg,
+                                      std::span<const std::uint8_t> key);
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,119 @@
+#include "crypto/sha1.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ibsec::crypto {
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha1::Digest Sha1::finalize() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  static constexpr std::uint8_t kPad[kBlockSize] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update({kPad, pad_len});
+  std::uint8_t len_bytes[8];
+  store_be32(len_bytes, static_cast<std::uint32_t>(bit_len >> 32));
+  store_be32(len_bytes + 4, static_cast<std::uint32_t>(bit_len));
+  update({len_bytes, 8});
+  Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    store_be32(digest.data() + 4 * i, state_[static_cast<std::size_t>(i)]);
+  }
+  return digest;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 sha;
+  sha.update(data);
+  return sha.finalize();
+}
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,157 @@
+#include "crypto/sha256.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ibsec::crypto {
+namespace {
+
+// First 64 primes, for deriving the round constants.
+constexpr std::array<int, 64> kPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+    43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+    103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+    173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+    241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311};
+
+// First 32 bits of the fractional part of x, computed in extended
+// precision (long double has a >= 64-bit mantissa on x86, ample for 32
+// exact fraction bits).
+std::uint32_t frac_bits(long double x) {
+  const long double frac = x - std::floor(x);
+  return static_cast<std::uint32_t>(
+      std::floor(frac * 4294967296.0L));  // * 2^32
+}
+
+struct Constants {
+  std::array<std::uint32_t, 64> k;  // frac(cbrt(prime_i))
+  std::array<std::uint32_t, 8> h;   // frac(sqrt(prime_i))
+};
+
+Constants derive_constants() {
+  Constants c{};
+  for (int i = 0; i < 64; ++i) {
+    c.k[static_cast<std::size_t>(i)] =
+        frac_bits(std::cbrt(static_cast<long double>(kPrimes[i])));
+  }
+  for (int i = 0; i < 8; ++i) {
+    c.h[static_cast<std::size_t>(i)] =
+        frac_bits(std::sqrt(static_cast<long double>(kPrimes[i])));
+  }
+  return c;
+}
+
+const Constants kConst = derive_constants();
+
+std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | p[3];
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Sha256::reset() {
+  state_ = kConst.h;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha256::Digest Sha256::finalize() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  static constexpr std::uint8_t kPad[kBlockSize] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update({kPad, pad_len});
+  std::uint8_t len_bytes[8];
+  store_be32(len_bytes, static_cast<std::uint32_t>(bit_len >> 32));
+  store_be32(len_bytes + 4, static_cast<std::uint32_t>(bit_len));
+  update({len_bytes, 8});
+  Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    store_be32(digest.data() + 4 * i, state_[static_cast<std::size_t>(i)]);
+  }
+  return digest;
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 =
+        h + s1 + ch + kConst.k[static_cast<std::size_t>(i)] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Sha256::Digest Sha256::hash(std::span<const std::uint8_t> data) {
+  Sha256 sha;
+  sha.update(data);
+  return sha.finalize();
+}
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-2) — the "modern baseline" extension.
+//
+// The paper's candidates (MD5, SHA-1) were already weakening in 2005 and
+// are broken today; a contemporary deployment of the ICRC-as-MAC scheme
+// would negotiate HMAC-SHA256. This implementation derives the round
+// constants from their definition (the fractional parts of the cube/square
+// roots of the first primes, computed in extended precision at first use)
+// rather than embedding a transcribed table; the unit tests pin the
+// standard "abc" / empty-string digests, which the derivation must hit
+// bit-exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ibsec::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  Digest finalize();
+
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,44 @@
+#include "crypto/stream_mac.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/crc32.h"
+
+namespace ibsec::crypto {
+
+StreamCrcMac::StreamCrcMac(std::span<const std::uint8_t> key)
+    : cipher_(Aes128::Block{}) {
+  if (key.size() != kKeySize) {
+    throw std::invalid_argument("StreamCrcMac: key must be 16 bytes");
+  }
+  Aes128::Block k;
+  std::memcpy(k.data(), key.data(), kKeySize);
+  cipher_ = Aes128(k);
+}
+
+std::uint32_t StreamCrcMac::tag32(std::span<const std::uint8_t> message,
+                                  std::uint64_t nonce) const {
+  Aes128::Block in{}, pad;
+  for (int i = 0; i < 8; ++i) {
+    in[static_cast<std::size_t>(15 - i)] =
+        static_cast<std::uint8_t>(nonce >> (8 * i));
+  }
+  cipher_.encrypt_block(in.data(), pad.data());
+  const std::uint32_t keystream = static_cast<std::uint32_t>(pad[0]) << 24 |
+                                  static_cast<std::uint32_t>(pad[1]) << 16 |
+                                  static_cast<std::uint32_t>(pad[2]) << 8 |
+                                  pad[3];
+  return crc32(message) ^ keystream;
+}
+
+std::uint32_t StreamCrcMac::forge_tag(std::span<const std::uint8_t> delta,
+                                      std::uint32_t observed_tag) {
+  // CRC linearity: crc(m ^ d) = crc(m) ^ crc(d) ^ crc(0^|d|). The keystream
+  // cancels because the forged packet replays the same nonce.
+  const std::vector<std::uint8_t> zeros(delta.size(), 0);
+  return observed_tag ^ crc32(delta) ^ crc32(zeros);
+}
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,51 @@
+// Stream-cipher "MAC": CRC-then-encrypt, and why it fails.
+//
+// The paper's Discussion (sec. 7) floats "a stream cipher MAC where MAC can
+// be made while transferring data" (citing Lai/Rueppel/Woollven '92 and
+// Taylor '93) as a fast alternative to UMAC. This module implements that
+// idea faithfully — tag = CRC32(message) XOR keystream(nonce), with the
+// keystream from AES-CTR — because it genuinely is line-rate-capable and
+// historically was proposed for exactly this niche.
+//
+// It is also BROKEN, and the implementation says so loudly: CRC is linear
+// (crc(m ^ d) == crc(m) ^ crc0(d) for equal lengths), so an attacker who
+// flips message bits can compute the tag delta *without the key* and fix up
+// the tag. tests/test_stream_mac.cpp demonstrates the forgery, and the
+// class is excluded from make_mac()'s production algorithms — it exists for
+// the sec. 7 analysis and the ablation bench, not for deployment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes128.h"
+
+namespace ibsec::crypto {
+
+class StreamCrcMac {
+ public:
+  static constexpr std::size_t kKeySize = 16;
+
+  explicit StreamCrcMac(std::span<const std::uint8_t> key);
+
+  /// tag = CRC32(message) ^ 32 bits of AES-CTR keystream at `nonce`.
+  std::uint32_t tag32(std::span<const std::uint8_t> message,
+                      std::uint64_t nonce) const;
+
+  bool verify(std::span<const std::uint8_t> message, std::uint64_t nonce,
+              std::uint32_t expected) const {
+    return tag32(message, nonce) == expected;
+  }
+
+  /// The linear-forgery oracle: given a packet's (message, tag) and a
+  /// desired XOR-difference `delta` (same length as message), returns the
+  /// tag valid for (message ^ delta) — computed WITHOUT the key. This is
+  /// the attack that disqualifies CRC-then-encrypt as a MAC.
+  static std::uint32_t forge_tag(std::span<const std::uint8_t> delta,
+                                 std::uint32_t observed_tag);
+
+ private:
+  Aes128 cipher_;
+};
+
+}  // namespace ibsec::crypto

@@ -1,0 +1,39 @@
+#include "fabric/hca.h"
+
+namespace ibsec::fabric {
+
+Hca::Hca(sim::Simulator& simulator, const FabricConfig& config, int node_id)
+    : sim_(simulator),
+      config_(config),
+      node_id_(node_id),
+      out_(std::make_unique<OutputPort>(
+          simulator, config.link, "hca" + std::to_string(node_id) + ".out")) {}
+
+void Hca::set_upstream(OutputPort* upstream) {
+  in_ = InputPort(&sim_, config_.link, upstream);
+}
+
+void Hca::send(ib::Packet&& pkt) {
+  if (pkt.meta.created_at < 0) pkt.meta.created_at = sim_.now();
+  ++packets_sent_;
+  const ib::VirtualLane vl = pkt.lrh.vl;
+  out_->enqueue(std::move(pkt), vl);
+}
+
+void Hca::packet_arrived(ib::Packet&& pkt, int /*in_port*/) {
+  const ib::VirtualLane vl = pkt.lrh.vl;
+  in_.accept(pkt, vl);
+  pkt.meta.delivered_at = sim_.now();
+  ++packets_received_;
+  // Consume immediately: the HCA drains its receive buffer at line rate in
+  // this model (the paper attributes congestion to the send side).
+  const std::size_t bytes = pkt.wire_size();
+  if (rx_) {
+    rx_(std::move(pkt));
+  }
+  in_.release_bytes(bytes, vl);
+}
+
+std::string Hca::name() const { return "hca-" + std::to_string(node_id_); }
+
+}  // namespace ibsec::fabric

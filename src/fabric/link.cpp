@@ -1,0 +1,177 @@
+#include "fabric/link.h"
+
+#include <memory>
+
+#include <cassert>
+
+namespace ibsec::fabric {
+
+const char* to_string(FilterMode mode) {
+  switch (mode) {
+    case FilterMode::kNone:
+      return "No Filtering";
+    case FilterMode::kDpt:
+      return "DPT";
+    case FilterMode::kIf:
+      return "IF";
+    case FilterMode::kSif:
+      return "SIF";
+  }
+  return "?";
+}
+
+OutputPort::OutputPort(sim::Simulator& simulator, const LinkParams& params,
+                       std::string name)
+    : sim_(simulator),
+      params_(params),
+      name_(std::move(name)),
+      vl_queues_(static_cast<std::size_t>(params.num_vls)),
+      credits_(static_cast<std::size_t>(params.num_vls),
+               params.buffer_bytes_per_vl),
+      arbiter_(params.arbitration
+                   ? *params.arbitration
+                   : VlArbitrationConfig::paper_default(params.num_vls)),
+      // Per-port fault stream: deterministic, decorrelated across ports by
+      // hashing the port name into the seed.
+      fault_rng_(params.corruption_seed ^
+                 std::hash<std::string>{}(name_)) {}
+
+void OutputPort::connect(Device* peer, int peer_port) {
+  peer_ = peer;
+  peer_port_ = peer_port;
+}
+
+void OutputPort::enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
+                         DispatchHook on_dispatch) {
+  assert(vl < vl_queues_.size());
+  vl_queues_[vl].push_back(QueuedPacket{std::move(pkt), std::move(on_dispatch)});
+  try_dispatch();
+}
+
+void OutputPort::credit_return(ib::VirtualLane vl, std::size_t bytes) {
+  credits_[vl] += bytes;
+  assert(credits_[vl] <= params_.buffer_bytes_per_vl);
+  try_dispatch();
+}
+
+std::size_t OutputPort::queue_depth(ib::VirtualLane vl) const {
+  return vl_queues_[vl].size();
+}
+
+std::size_t OutputPort::queued_bytes(ib::VirtualLane vl) const {
+  std::size_t bytes = 0;
+  for (const auto& q : vl_queues_[vl]) bytes += q.pkt.wire_size();
+  return bytes;
+}
+
+std::size_t OutputPort::total_queue_depth() const {
+  std::size_t n = 0;
+  for (const auto& q : vl_queues_) n += q.size();
+  return n;
+}
+
+std::size_t OutputPort::credits(ib::VirtualLane vl) const {
+  return credits_[vl];
+}
+
+int OutputPort::arbitrate() {
+  const auto sendable = [&](ib::VirtualLane vl) {
+    const auto& q = vl_queues_[vl];
+    if (q.empty()) return false;
+    if (vl == ib::kManagementVl) return true;  // no flow control on VL15
+    return q.front().pkt.wire_size() <= credits_[vl];
+  };
+  // VL15 preempts everything and is outside the arbitration tables.
+  if (sendable(ib::kManagementVl)) return ib::kManagementVl;
+  return arbiter_.pick(sendable);
+}
+
+void OutputPort::try_dispatch() {
+  if (line_busy_ || peer_ == nullptr) return;
+  const int vl_index = arbitrate();
+  if (vl_index < 0) return;
+  const auto vl = static_cast<ib::VirtualLane>(vl_index);
+
+  QueuedPacket entry = std::move(vl_queues_[vl].front());
+  vl_queues_[vl].pop_front();
+
+  const std::size_t bytes = entry.pkt.wire_size();
+  if (vl != ib::kManagementVl) {
+    assert(credits_[vl] >= bytes);
+    credits_[vl] -= bytes;
+    arbiter_.on_sent(vl, bytes);
+  }
+
+  // First wire entry only — switches re-dispatch the packet at every hop,
+  // but injection time means "left the source HCA".
+  if (entry.pkt.meta.injected_at < 0) {
+    entry.pkt.meta.injected_at = sim_.now();
+  }
+  if (entry.on_dispatch) entry.on_dispatch(entry.pkt);
+
+  const SimTime tx_time = serialization_time_ps(
+      static_cast<std::int64_t>(bytes), params_.bandwidth_bps);
+  line_busy_ = true;
+
+  // Delivery of the last byte at the peer happens after serialization plus
+  // propagation; the line frees after serialization alone.
+  sim_.after(tx_time, [this, bytes, tx_time] {
+    line_busy_ = false;
+    ++packets_sent_;
+    bytes_sent_ += bytes;
+    busy_time_ += tx_time;
+    try_dispatch();
+  });
+
+  // Fault injection: flip one random payload/header byte in flight. The
+  // VCRC is left stale, so the next hop's link-layer check catches it.
+  if (params_.corruption_rate > 0.0 &&
+      fault_rng_.bernoulli(params_.corruption_rate)) {
+    ++packets_corrupted_;
+    if (!entry.pkt.payload.empty()) {
+      const std::size_t at = fault_rng_.uniform(entry.pkt.payload.size());
+      entry.pkt.payload[at] ^=
+          static_cast<std::uint8_t>(1u << fault_rng_.uniform(8));
+    } else {
+      entry.pkt.bth.psn ^= 1;  // headers are all a headerless packet has
+    }
+  }
+
+  // Move the packet into the delivery event.
+  auto pkt = std::make_shared<ib::Packet>(std::move(entry.pkt));
+  sim_.after(tx_time + params_.propagation, [this, pkt]() mutable {
+    peer_->packet_arrived(std::move(*pkt), peer_port_);
+  });
+}
+
+InputPort::InputPort(sim::Simulator* simulator, const LinkParams& params,
+                     OutputPort* upstream)
+    : sim_(simulator),
+      params_(params),
+      upstream_(upstream),
+      used_(static_cast<std::size_t>(params.num_vls), 0) {}
+
+void InputPort::accept(const ib::Packet& pkt, ib::VirtualLane vl) {
+  used_[vl] += pkt.wire_size();
+  // VL15 is not flow controlled, so its buffer may notionally overflow; data
+  // VLs must never exceed the advertised credit pool.
+  assert(vl == ib::kManagementVl || used_[vl] <= params_.buffer_bytes_per_vl);
+}
+
+void InputPort::release_bytes(std::size_t bytes, ib::VirtualLane vl) {
+  assert(used_[vl] >= bytes);
+  used_[vl] -= bytes;
+  if (upstream_ != nullptr && vl != ib::kManagementVl) {
+    // The credit update travels back over the link.
+    OutputPort* upstream = upstream_;
+    sim_->after(params_.propagation, [upstream, vl, bytes] {
+      upstream->credit_return(vl, bytes);
+    });
+  }
+}
+
+std::size_t InputPort::used_bytes(ib::VirtualLane vl) const {
+  return used_[vl];
+}
+
+}  // namespace ibsec::fabric

@@ -1,0 +1,138 @@
+// Link-layer machinery: output ports with per-VL queues, strict-priority VL
+// arbitration, and credit-based flow control.
+//
+// IBA links are lossless: a sender may only put a packet on the wire when
+// the receiver has advertised enough buffer credit on that packet's VL.
+// When the fabric congests, credits dry up hop by hop until packets queue in
+// the source HCA — which is why the paper measures DoS impact as *queuing
+// time* growth while network latency stays comparatively flat (sec. 3.1).
+//
+// VL15 (subnet management) is exempt from flow control per the IBA spec;
+// trap MADs still get through a congested fabric.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/config.h"
+#include "ib/packet.h"
+#include "sim/simulator.h"
+
+namespace ibsec::fabric {
+
+/// Anything that can accept packets from a link: switches and HCAs.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Called when the last byte of `pkt` has arrived on `in_port`.
+  virtual void packet_arrived(ib::Packet&& pkt, int in_port) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The sending side of one unidirectional link. Owns the per-VL queues and
+/// the credit counters mirroring the peer's input buffer.
+class OutputPort {
+ public:
+  /// Invoked when a queued packet starts serialization (used by the sender
+  /// to release its own input buffer / record injection time).
+  using DispatchHook = std::function<void(const ib::Packet&)>;
+
+  OutputPort(sim::Simulator& simulator, const LinkParams& params,
+             std::string name);
+
+  /// Connects to the receiving device. `peer_port` is the input port index
+  /// on the peer.
+  void connect(Device* peer, int peer_port);
+
+  bool connected() const { return peer_ != nullptr; }
+  const std::string& name() const { return name_; }
+
+  /// Queues a packet for transmission on `vl`. `on_dispatch` (optional) runs
+  /// when the first byte goes on the wire.
+  void enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
+               DispatchHook on_dispatch = nullptr);
+
+  /// Returns `bytes` of credit for `vl` (receiver freed buffer). Called via
+  /// the simulator after the reverse-direction propagation delay.
+  void credit_return(ib::VirtualLane vl, std::size_t bytes);
+
+  std::size_t queue_depth(ib::VirtualLane vl) const;
+  std::size_t queued_bytes(ib::VirtualLane vl) const;
+  std::size_t total_queue_depth() const;
+  std::size_t credits(ib::VirtualLane vl) const;
+
+  /// Total packets that have completed transmission on this port.
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  /// Bytes that completed transmission on this port.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Fraction of wall-clock the line spent transmitting, up to `now`.
+  double utilization(SimTime now) const {
+    if (now <= 0) return 0.0;
+    return static_cast<double>(busy_time_) / static_cast<double>(now);
+  }
+
+ private:
+  struct QueuedPacket {
+    ib::Packet pkt;
+    DispatchHook on_dispatch;
+  };
+
+  void try_dispatch();
+  /// VL15 first (exempt from arbitration and flow control), then the
+  /// weighted arbitration tables; -1 if nothing can send.
+  int arbitrate();
+
+  sim::Simulator& sim_;
+  LinkParams params_;
+  std::string name_;
+  Device* peer_ = nullptr;
+  int peer_port_ = -1;
+
+  std::vector<std::deque<QueuedPacket>> vl_queues_;
+  std::vector<std::size_t> credits_;
+  VlArbiter arbiter_;
+  Rng fault_rng_;
+  bool line_busy_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_corrupted_ = 0;
+  SimTime busy_time_ = 0;
+
+ public:
+  std::uint64_t packets_corrupted() const { return packets_corrupted_; }
+};
+
+/// Per-(port, VL) input buffer accounting at the receiving device, plus the
+/// upstream pointer used to return credits.
+class InputPort {
+ public:
+  InputPort() = default;
+  InputPort(sim::Simulator* simulator, const LinkParams& params,
+            OutputPort* upstream);
+
+  /// Records buffer occupancy for an arrived packet. Asserts the sender
+  /// respected credits (the invariant the flow-control tests check).
+  void accept(const ib::Packet& pkt, ib::VirtualLane vl);
+
+  /// Frees the bytes of `pkt` and schedules a credit return upstream.
+  void release(const ib::Packet& pkt, ib::VirtualLane vl) {
+    release_bytes(pkt.wire_size(), vl);
+  }
+  /// Same, when the packet has already been moved away.
+  void release_bytes(std::size_t bytes, ib::VirtualLane vl);
+
+  std::size_t used_bytes(ib::VirtualLane vl) const;
+
+ private:
+  sim::Simulator* sim_ = nullptr;
+  LinkParams params_;
+  OutputPort* upstream_ = nullptr;
+  std::vector<std::size_t> used_;
+};
+
+}  // namespace ibsec::fabric

@@ -1,0 +1,58 @@
+// Token-bucket ingress rate limiter — the defence for the attack SIF
+// cannot stop.
+//
+// Paper sec. 7 ("More DoS Attacks"): "Dumping traffic only with a valid
+// P_Key. Since this attack uses a valid P_Key, any ingress filtering is
+// useless." The classic counter is to cap each ingress port's admission
+// rate: a compromised node can then consume at most its configured share
+// regardless of which keys it holds. The trade-off (blunt per-node caps vs
+// SIF's surgical key-based drops) is quantified in
+// bench/ablation_rate_limit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace ibsec::fabric {
+
+class TokenBucket {
+ public:
+  /// `rate_bytes_per_sec` refill rate; `burst_bytes` bucket capacity
+  /// (also the initial fill).
+  TokenBucket(double rate_bytes_per_sec, std::size_t burst_bytes)
+      : rate_(rate_bytes_per_sec),
+        burst_(static_cast<double>(burst_bytes)),
+        tokens_(static_cast<double>(burst_bytes)) {}
+
+  /// Attempts to admit `bytes` at simulated time `now`. Returns false (and
+  /// consumes nothing) when the bucket lacks tokens.
+  bool consume(std::size_t bytes, SimTime now) {
+    refill(now);
+    const double needed = static_cast<double>(bytes);
+    if (tokens_ < needed) return false;
+    tokens_ -= needed;
+    return true;
+  }
+
+  double tokens_at(SimTime now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(SimTime now) {
+    if (now <= last_) return;
+    const double elapsed_sec =
+        static_cast<double>(now - last_) / 1e12;  // ps -> s
+    tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_sec);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_ = 0;
+};
+
+}  // namespace ibsec::fabric

@@ -1,0 +1,118 @@
+#include "fabric/switch.h"
+
+#include <limits>
+
+namespace ibsec::fabric {
+
+Switch::Switch(sim::Simulator& simulator, const FabricConfig& config, int id,
+               int num_ports)
+    : sim_(simulator),
+      config_(config),
+      id_(id),
+      routes_(std::numeric_limits<ib::Lid>::max() + 1, -1),
+      filter_(config, simulator, num_ports) {
+  outputs_.reserve(static_cast<std::size_t>(num_ports));
+  inputs_.resize(static_cast<std::size_t>(num_ports));
+  for (int p = 0; p < num_ports; ++p) {
+    outputs_.push_back(std::make_unique<OutputPort>(
+        simulator, config.link,
+        "sw" + std::to_string(id) + ".out" + std::to_string(p)));
+  }
+}
+
+void Switch::set_ingress_port(int port, bool is_ingress) {
+  filter_.set_ingress_port(port, is_ingress);
+  if (ingress_limiters_.empty()) {
+    ingress_limiters_.resize(static_cast<std::size_t>(num_ports()));
+  }
+  auto& slot = ingress_limiters_.at(static_cast<std::size_t>(port));
+  if (is_ingress && config_.ingress_rate_limit_fraction > 0.0) {
+    const double rate_bytes =
+        static_cast<double>(config_.link.bandwidth_bps) / 8.0 *
+        config_.ingress_rate_limit_fraction;
+    slot = std::make_unique<TokenBucket>(rate_bytes,
+                                         config_.ingress_rate_limit_burst);
+  } else {
+    slot.reset();
+  }
+}
+
+void Switch::set_upstream(int port, OutputPort* upstream) {
+  inputs_.at(static_cast<std::size_t>(port)) =
+      InputPort(&sim_, config_.link, upstream);
+}
+
+void Switch::set_route(ib::Lid dlid, int port) {
+  routes_.at(dlid) = port;
+}
+
+std::string Switch::name() const { return "switch-" + std::to_string(id_); }
+
+void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
+  InputPort& input = inputs_.at(static_cast<std::size_t>(in_port));
+  const ib::VirtualLane vl = pkt.lrh.vl;
+  input.accept(pkt, vl);
+
+  // Link-level integrity: a corrupted packet is dropped at the hop.
+  if (!pkt.vcrc_valid()) {
+    ++stats_.dropped_vcrc;
+    input.release(pkt, vl);
+    return;
+  }
+
+  // Ingress admission control (valid-P_Key flood defence, sec. 7); VL15 is
+  // exempt so management always gets through.
+  if (vl != ib::kManagementVl &&
+      static_cast<std::size_t>(in_port) < ingress_limiters_.size()) {
+    TokenBucket* limiter =
+        ingress_limiters_[static_cast<std::size_t>(in_port)].get();
+    if (limiter != nullptr &&
+        !limiter->consume(pkt.wire_size(), sim_.now())) {
+      ++stats_.dropped_rate_limited;
+      input.release(pkt, vl);
+      return;
+    }
+  }
+
+  // Crossing latency plus any filtering lookup cycles. The filter decision
+  // itself is made now (state when the packet entered), its cost is paid in
+  // the pipeline delay. Management VL bypasses partition enforcement.
+  SwitchPartitionFilter::Decision decision{true, 0};
+  if (vl != ib::kManagementVl) {
+    decision = filter_.check(in_port, pkt.bth.pkey);
+  }
+  const SimTime delay =
+      config_.switch_cycle() *
+      (config_.switch_pipeline_cycles + decision.lookup_cycles);
+
+  auto shared = std::make_shared<ib::Packet>(std::move(pkt));
+  sim_.after(delay, [this, shared, in_port, decision]() mutable {
+    InputPort& in = inputs_.at(static_cast<std::size_t>(in_port));
+    const ib::VirtualLane pvl = shared->lrh.vl;
+    if (!decision.allow) {
+      ++stats_.dropped_filter;
+      in.release(*shared, pvl);
+      return;
+    }
+    const int out_port = routes_.at(shared->lrh.dlid);
+    if (out_port < 0 || out_port >= num_ports() || out_port == in_port) {
+      ++stats_.dropped_no_route;
+      in.release(*shared, pvl);
+      return;
+    }
+    ++stats_.forwarded;
+    shared->refresh_vcrc();
+
+    // Hold input-buffer bytes until the packet starts on the output wire;
+    // the release triggers the upstream credit return.
+    ib::Packet to_send = std::move(*shared);
+    outputs_[static_cast<std::size_t>(out_port)]->enqueue(
+        std::move(to_send), pvl,
+        [this, in_port](const ib::Packet& dispatched) {
+          inputs_.at(static_cast<std::size_t>(in_port))
+              .release(dispatched, dispatched.lrh.vl);
+        });
+  });
+}
+
+}  // namespace ibsec::fabric

@@ -1,0 +1,73 @@
+// A 5-port, store-and-forward InfiniBand switch.
+//
+// Pipeline per packet: receive fully into the per-VL input buffer -> fixed
+// crossing latency (switch_pipeline_cycles) -> optional partition-filter
+// lookup cycles -> linear forwarding table (DLID -> output port) -> per-VL
+// output queue with strict-priority VL arbitration and credit-based flow
+// control. Input-buffer bytes are held until the packet starts leaving on
+// the output link, which is what propagates back-pressure.
+//
+// The VCRC is verified on entry and recomputed before forwarding (variant
+// fields may change at a hop); the ICRC/AT is untouched — switches cannot
+// and need not validate it, which is what keeps the paper's MAC end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/link.h"
+#include "fabric/partition_filter.h"
+#include "fabric/rate_limiter.h"
+
+namespace ibsec::fabric {
+
+class Switch final : public Device {
+ public:
+  Switch(sim::Simulator& simulator, const FabricConfig& config, int id,
+         int num_ports);
+
+  // --- wiring (topology builder) --------------------------------------------
+  OutputPort& out(int port) { return *outputs_.at(static_cast<std::size_t>(port)); }
+  void set_upstream(int port, OutputPort* upstream);
+  /// DLID -> output port. Unknown DLIDs drop.
+  void set_route(ib::Lid dlid, int port);
+  void set_ingress_port(int port, bool is_ingress);
+
+  SwitchPartitionFilter& filter() { return filter_; }
+  const SwitchPartitionFilter& filter() const { return filter_; }
+
+  // --- Device ----------------------------------------------------------------
+  void packet_arrived(ib::Packet&& pkt, int in_port) override;
+  std::string name() const override;
+
+  int id() const { return id_; }
+  int num_ports() const { return static_cast<int>(outputs_.size()); }
+
+  // --- statistics -------------------------------------------------------------
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped_filter = 0;
+    std::uint64_t dropped_no_route = 0;
+    std::uint64_t dropped_vcrc = 0;
+    std::uint64_t dropped_rate_limited = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void process(ib::Packet&& pkt, int in_port);
+
+  sim::Simulator& sim_;
+  const FabricConfig& config_;
+  int id_;
+  std::vector<std::unique_ptr<OutputPort>> outputs_;
+  std::vector<InputPort> inputs_;
+  std::vector<int> routes_;  // indexed by DLID; -1 = no route
+  SwitchPartitionFilter filter_;
+  // Per-port ingress admission limiter; only HCA-facing ports get one, and
+  // only when config_.ingress_rate_limit_fraction > 0.
+  std::vector<std::unique_ptr<TokenBucket>> ingress_limiters_;
+  Stats stats_;
+};
+
+}  // namespace ibsec::fabric

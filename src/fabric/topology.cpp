@@ -1,0 +1,131 @@
+#include "fabric/topology.h"
+
+#include <algorithm>
+
+namespace ibsec::fabric {
+namespace {
+constexpr int kHcaPort = 0;
+constexpr int kEast = 1, kWest = 2, kNorth = 3, kSouth = 4;
+constexpr int kSwitchPorts = 5;
+}  // namespace
+
+Fabric::Fabric(const FabricConfig& config) : config_(config) { build(); }
+
+void Fabric::build() {
+  const int n = config_.node_count();
+  switches_.reserve(static_cast<std::size_t>(n));
+  hcas_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    switches_.push_back(
+        std::make_unique<Switch>(sim_, config_, i, kSwitchPorts));
+    hcas_.push_back(std::make_unique<Hca>(sim_, config_, i));
+  }
+
+  // HCA <-> switch links; switch port 0 is the ingress port.
+  for (int i = 0; i < n; ++i) {
+    Hca& hca = *hcas_[static_cast<std::size_t>(i)];
+    Switch& sw = *switches_[static_cast<std::size_t>(i)];
+    hca.out().connect(&sw, kHcaPort);
+    sw.set_upstream(kHcaPort, &hca.out());
+    sw.out(kHcaPort).connect(&hca, 0);
+    hca.set_upstream(&sw.out(kHcaPort));
+    sw.set_ingress_port(kHcaPort, true);
+  }
+
+  // Mesh links.
+  const int w = config_.mesh_width;
+  const int h = config_.mesh_height;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int s = y * w + x;
+      if (x + 1 < w) connect_switches(s, kEast, s + 1, kWest);
+      if (y + 1 < h) connect_switches(s, kNorth, s + w, kSouth);
+    }
+  }
+
+  build_routes();
+}
+
+void Fabric::connect_switches(int a, int port_a, int b, int port_b) {
+  Switch& sa = *switches_[static_cast<std::size_t>(a)];
+  Switch& sb = *switches_[static_cast<std::size_t>(b)];
+  sa.out(port_a).connect(&sb, port_b);
+  sb.set_upstream(port_b, &sa.out(port_a));
+  sb.out(port_b).connect(&sa, port_a);
+  sa.set_upstream(port_a, &sb.out(port_b));
+}
+
+void Fabric::build_routes() {
+  // Deterministic deadlock-free XY routing: correct x first, then y, then
+  // deliver to the local HCA.
+  const int w = config_.mesh_width;
+  const int n = config_.node_count();
+  for (int s = 0; s < n; ++s) {
+    const int sx = s % w;
+    const int sy = s / w;
+    Switch& sw = *switches_[static_cast<std::size_t>(s)];
+    for (int d = 0; d < n; ++d) {
+      const int dx = d % w;
+      const int dy = d / w;
+      int port;
+      if (dx > sx) {
+        port = kEast;
+      } else if (dx < sx) {
+        port = kWest;
+      } else if (dy > sy) {
+        port = kNorth;
+      } else if (dy < sy) {
+        port = kSouth;
+      } else {
+        port = kHcaPort;
+      }
+      sw.set_route(lid_of_node(d), port);
+    }
+  }
+}
+
+std::uint64_t Fabric::total_filter_lookups() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->filter().total_lookups();
+  return total;
+}
+
+std::uint64_t Fabric::total_filter_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->filter().total_drops();
+  return total;
+}
+
+std::size_t Fabric::total_filter_memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& sw : switches_) total += sw->filter().table_memory_bytes();
+  return total;
+}
+
+double Fabric::max_link_utilization() {
+  double max_util = 0.0;
+  const SimTime now = sim_.now();
+  for (auto& sw : switches_) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      max_util = std::max(max_util, sw->out(p).utilization(now));
+    }
+  }
+  for (auto& hca : hcas_) {
+    max_util = std::max(max_util, hca->out().utilization(now));
+  }
+  return max_util;
+}
+
+Switch::Stats Fabric::aggregate_switch_stats() const {
+  Switch::Stats agg;
+  for (const auto& sw : switches_) {
+    agg.forwarded += sw->stats().forwarded;
+    agg.dropped_filter += sw->stats().dropped_filter;
+    agg.dropped_no_route += sw->stats().dropped_no_route;
+    agg.dropped_vcrc += sw->stats().dropped_vcrc;
+    agg.dropped_rate_limited += sw->stats().dropped_rate_limited;
+  }
+  return agg;
+}
+
+}  // namespace ibsec::fabric

@@ -1,0 +1,66 @@
+// Topology construction: the paper's 16-node mesh of 5-port switches, one
+// HCA per switch, dimension-order (XY) routing.
+//
+// Port convention on every switch:
+//   0 = attached HCA (the ingress port for IF/SIF)
+//   1 = +x (east), 2 = -x (west), 3 = +y (north), 4 = -y (south)
+//
+// Node n sits at mesh coordinate (n % width, n / width); its port LID is
+// n + 1 (LID 0 is reserved).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fabric/hca.h"
+#include "fabric/switch.h"
+#include "sim/simulator.h"
+
+namespace ibsec::fabric {
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricConfig& config);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  const FabricConfig& config() const { return config_; }
+
+  int node_count() const { return config_.node_count(); }
+  Hca& hca(int node) { return *hcas_.at(static_cast<std::size_t>(node)); }
+  Switch& switch_at(int index) {
+    return *switches_.at(static_cast<std::size_t>(index));
+  }
+  /// The switch a node's HCA plugs into (1:1 in this topology).
+  Switch& ingress_switch_of(int node) { return switch_at(node); }
+  /// The port on the ingress switch facing the node's HCA (always 0 here).
+  int ingress_port_of(int /*node*/) const { return 0; }
+
+  ib::Lid lid_of_node(int node) const {
+    return static_cast<ib::Lid>(node + 1);
+  }
+  int node_of_lid(ib::Lid lid) const { return static_cast<int>(lid) - 1; }
+
+  // --- aggregate statistics ---------------------------------------------------
+  std::uint64_t total_filter_lookups() const;
+  std::uint64_t total_filter_drops() const;
+  std::size_t total_filter_memory_bytes() const;
+  Switch::Stats aggregate_switch_stats() const;
+  /// Highest transmit-side utilization over every switch output port
+  /// (mesh links and switch->HCA links), at the current simulated time.
+  double max_link_utilization();
+
+ private:
+  void build();
+  void connect_switches(int a, int port_a, int b, int port_b);
+  void build_routes();
+
+  FabricConfig config_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
+};
+
+}  // namespace ibsec::fabric

@@ -1,0 +1,63 @@
+#include "fabric/vl_arbiter.h"
+
+namespace ibsec::fabric {
+
+VlArbitrationConfig VlArbitrationConfig::paper_default(int num_vls) {
+  VlArbitrationConfig config;
+  config.high_priority.push_back({/*realtime*/ 1, 255});
+  config.low_priority.push_back({/*best-effort*/ 0, 255});
+  for (int vl = 2; vl < num_vls; ++vl) {
+    if (vl == ib::kManagementVl) continue;
+    config.low_priority.push_back({static_cast<ib::VirtualLane>(vl), 16});
+  }
+  return config;
+}
+
+VlArbiter::VlArbiter(VlArbitrationConfig config) {
+  // Drop zero-weight entries: per spec they never transmit.
+  for (const auto& entry : config.high_priority) {
+    if (entry.weight > 0) high_.entries.push_back(entry);
+  }
+  for (const auto& entry : config.low_priority) {
+    if (entry.weight > 0) low_.entries.push_back(entry);
+  }
+  high_.refill();
+  low_.refill();
+}
+
+int VlArbiter::pick_from(TableState& table,
+                         const std::function<bool(ib::VirtualLane)>& sendable) {
+  if (table.empty()) return -1;
+  // Start at the current WRR position; if its weight is spent or it cannot
+  // send, walk forward. One full loop means nothing is sendable.
+  for (std::size_t scanned = 0; scanned < table.entries.size(); ++scanned) {
+    const VlArbitrationEntry& entry = table.entries[table.index];
+    if (table.remaining > 0 && sendable(entry.vl)) {
+      last_table_ = &table;
+      return entry.vl;
+    }
+    table.advance();
+  }
+  return -1;
+}
+
+int VlArbiter::pick(const std::function<bool(ib::VirtualLane)>& sendable) {
+  const int high = pick_from(high_, sendable);
+  if (high >= 0) return high;
+  return pick_from(low_, sendable);
+}
+
+void VlArbiter::on_sent(ib::VirtualLane vl, std::size_t bytes) {
+  if (last_table_ == nullptr || last_table_->empty()) return;
+  TableState& table = *last_table_;
+  if (table.entries[table.index].vl != vl) return;  // stale notification
+  const auto units =
+      static_cast<std::uint32_t>((bytes + 63) / 64);  // 64-byte weight units
+  if (units >= table.remaining) {
+    table.advance();
+  } else {
+    table.remaining -= units;
+  }
+}
+
+}  // namespace ibsec::fabric

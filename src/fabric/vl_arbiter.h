@@ -1,0 +1,80 @@
+// IBA VL arbitration (spec ch. 7.6.9): dual weighted-round-robin tables.
+//
+// Transmission order on a data link:
+//   1. VL15 (subnet management) always preempts — handled by the caller.
+//   2. The high-priority table: WRR among its entries.
+//   3. The low-priority table: WRR, served only when no high entry can send.
+//
+// Each table entry is (VL, weight); a weight unit corresponds to 64 bytes
+// of transmitted data, so a weight of 16 lets one MTU packet through before
+// the pointer advances. The paper's testbed places realtime traffic in the
+// high-priority table and best-effort in the low one — "best-effort and
+// realtime traffics do not interfere with each other because separate
+// virtual lanes are allocated" and realtime wins arbitration (sec. 3.1).
+//
+// The default configuration reproduces exactly that: {VL1/realtime} high,
+// {VL0/best-effort, then every other data VL} low.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ib/types.h"
+
+namespace ibsec::fabric {
+
+struct VlArbitrationEntry {
+  ib::VirtualLane vl = 0;
+  std::uint8_t weight = 255;  ///< in 64-byte units; 0 entries are skipped
+};
+
+struct VlArbitrationConfig {
+  std::vector<VlArbitrationEntry> high_priority;
+  std::vector<VlArbitrationEntry> low_priority;
+
+  /// The paper's arrangement: realtime high, best-effort + the rest low.
+  static VlArbitrationConfig paper_default(int num_vls);
+};
+
+class VlArbiter {
+ public:
+  explicit VlArbiter(VlArbitrationConfig config);
+
+  /// Picks the next VL allowed to transmit, or -1. `sendable(vl)` must
+  /// return true iff that VL has a packet that fits its credits. VL15 is
+  /// NOT handled here (no arbitration applies to it).
+  int pick(const std::function<bool(ib::VirtualLane)>& sendable);
+
+  /// Informs the arbiter that `bytes` were transmitted on `vl`, consuming
+  /// weight and advancing the WRR pointer when the entry is exhausted.
+  void on_sent(ib::VirtualLane vl, std::size_t bytes);
+
+ private:
+  struct TableState {
+    std::vector<VlArbitrationEntry> entries;
+    std::size_t index = 0;
+    std::uint32_t remaining = 0;  // 64-byte units left for current entry
+
+    bool empty() const { return entries.empty(); }
+    void refill() {
+      if (!entries.empty()) remaining = entries[index].weight;
+    }
+    void advance() {
+      if (entries.empty()) return;
+      index = (index + 1) % entries.size();
+      refill();
+    }
+  };
+
+  /// Scans a table WRR-style; returns the chosen VL or -1.
+  int pick_from(TableState& table,
+                const std::function<bool(ib::VirtualLane)>& sendable);
+
+  TableState high_;
+  TableState low_;
+  // Which table the last pick came from, for weight accounting.
+  TableState* last_table_ = nullptr;
+};
+
+}  // namespace ibsec::fabric

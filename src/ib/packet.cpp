@@ -1,0 +1,199 @@
+#include "ib/packet.h"
+
+#include "crypto/crc16.h"
+#include "crypto/crc32.h"
+
+namespace ibsec::ib {
+namespace {
+
+bool known_opcode(std::uint8_t raw) {
+  switch (static_cast<OpCode>(raw)) {
+    case OpCode::kRcSendFirst:
+    case OpCode::kRcSendMiddle:
+    case OpCode::kRcSendLast:
+    case OpCode::kRcSendOnly:
+    case OpCode::kRcAck:
+    case OpCode::kRcRdmaWriteOnly:
+    case OpCode::kRcRdmaReadRequest:
+    case OpCode::kRcRdmaReadResponse:
+    case OpCode::kUdSendOnly:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t Packet::headers_size() const {
+  std::size_t size = Lrh::kWireSize + Bth::kWireSize;
+  if (grh) size += Grh::kWireSize;
+  if (deth) size += Deth::kWireSize;
+  if (reth) size += Reth::kWireSize;
+  if (aeth) size += Aeth::kWireSize;
+  return size;
+}
+
+std::size_t Packet::wire_size() const {
+  return headers_size() + payload.size() + 4 /*ICRC*/ + 2 /*VCRC*/;
+}
+
+void Packet::serialize_body(std::vector<std::uint8_t>& out,
+                            bool masked) const {
+  out.resize(headers_size() + payload.size());
+  std::size_t offset = 0;
+
+  lrh.serialize(std::span<std::uint8_t, Lrh::kWireSize>(&out[offset],
+                                                        Lrh::kWireSize));
+  if (masked) {
+    out[offset] |= 0xF0;  // LRH.VL nibble -> ones
+  }
+  offset += Lrh::kWireSize;
+
+  if (grh) {
+    grh->serialize(std::span<std::uint8_t, Grh::kWireSize>(&out[offset],
+                                                           Grh::kWireSize));
+    if (masked) {
+      // tclass + flow_label live in bytes 0..3 (with ip_ver in the top
+      // nibble of byte 0); hop_limit is byte 7 (IBA 7.8.1 / 9.8).
+      out[offset] |= 0x0F;
+      out[offset + 1] = 0xFF;
+      out[offset + 2] = 0xFF;
+      out[offset + 3] = 0xFF;
+      out[offset + 7] = 0xFF;
+    }
+    offset += Grh::kWireSize;
+  }
+
+  bth.serialize(std::span<std::uint8_t, Bth::kWireSize>(&out[offset],
+                                                        Bth::kWireSize));
+  if (masked) {
+    out[offset + 4] = 0xFF;  // BTH.resv8a — where the auth algorithm id rides
+  }
+  offset += Bth::kWireSize;
+
+  if (deth) {
+    deth->serialize(std::span<std::uint8_t, Deth::kWireSize>(
+        &out[offset], Deth::kWireSize));
+    offset += Deth::kWireSize;
+  }
+  if (reth) {
+    reth->serialize(std::span<std::uint8_t, Reth::kWireSize>(
+        &out[offset], Reth::kWireSize));
+    offset += Reth::kWireSize;
+  }
+  if (aeth) {
+    aeth->serialize(std::span<std::uint8_t, Aeth::kWireSize>(
+        &out[offset], Aeth::kWireSize));
+    offset += Aeth::kWireSize;
+  }
+
+  std::copy(payload.begin(), payload.end(), out.begin() + static_cast<long>(offset));
+}
+
+std::vector<std::uint8_t> Packet::icrc_covered_bytes() const {
+  std::vector<std::uint8_t> out;
+  serialize_body(out, /*masked=*/true);
+  return out;
+}
+
+std::vector<std::uint8_t> Packet::vcrc_covered_bytes() const {
+  std::vector<std::uint8_t> out;
+  serialize_body(out, /*masked=*/false);
+  out.push_back(static_cast<std::uint8_t>(icrc >> 24));
+  out.push_back(static_cast<std::uint8_t>(icrc >> 16));
+  out.push_back(static_cast<std::uint8_t>(icrc >> 8));
+  out.push_back(static_cast<std::uint8_t>(icrc));
+  return out;
+}
+
+std::uint32_t Packet::compute_icrc() const {
+  return crypto::crc32(icrc_covered_bytes());
+}
+
+std::uint16_t Packet::compute_vcrc() const {
+  return crypto::crc16_iba(vcrc_covered_bytes());
+}
+
+void Packet::set_lengths() {
+  // pkt_len counts 4-byte words from the first byte of LRH through ICRC.
+  lrh.pkt_len = static_cast<std::uint16_t>(
+      (headers_size() + payload.size() + 4) / 4);
+}
+
+void Packet::finalize() {
+  set_lengths();
+  icrc = compute_icrc();
+  vcrc = compute_vcrc();
+}
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  std::vector<std::uint8_t> out;
+  serialize_body(out, /*masked=*/false);
+  out.reserve(out.size() + 6);
+  out.push_back(static_cast<std::uint8_t>(icrc >> 24));
+  out.push_back(static_cast<std::uint8_t>(icrc >> 16));
+  out.push_back(static_cast<std::uint8_t>(icrc >> 8));
+  out.push_back(static_cast<std::uint8_t>(icrc));
+  out.push_back(static_cast<std::uint8_t>(vcrc >> 8));
+  out.push_back(static_cast<std::uint8_t>(vcrc));
+  return out;
+}
+
+std::optional<Packet> Packet::parse(std::span<const std::uint8_t> wire) {
+  if (wire.size() < Lrh::kWireSize + Bth::kWireSize + 6) return std::nullopt;
+
+  Packet pkt;
+  std::size_t offset = 0;
+  pkt.lrh = Lrh::parse(std::span<const std::uint8_t, Lrh::kWireSize>(
+      &wire[offset], Lrh::kWireSize));
+  offset += Lrh::kWireSize;
+
+  if (pkt.lrh.lnh == 3) {
+    if (wire.size() < offset + Grh::kWireSize + Bth::kWireSize + 6) {
+      return std::nullopt;
+    }
+    pkt.grh = Grh::parse(std::span<const std::uint8_t, Grh::kWireSize>(
+        &wire[offset], Grh::kWireSize));
+    offset += Grh::kWireSize;
+  }
+
+  if (!known_opcode(wire[offset])) return std::nullopt;
+  pkt.bth = Bth::parse(std::span<const std::uint8_t, Bth::kWireSize>(
+      &wire[offset], Bth::kWireSize));
+  offset += Bth::kWireSize;
+
+  if (opcode_has_deth(pkt.bth.opcode)) {
+    if (wire.size() < offset + Deth::kWireSize + 6) return std::nullopt;
+    pkt.deth = Deth::parse(std::span<const std::uint8_t, Deth::kWireSize>(
+        &wire[offset], Deth::kWireSize));
+    offset += Deth::kWireSize;
+  }
+  if (opcode_has_reth(pkt.bth.opcode)) {
+    if (wire.size() < offset + Reth::kWireSize + 6) return std::nullopt;
+    pkt.reth = Reth::parse(std::span<const std::uint8_t, Reth::kWireSize>(
+        &wire[offset], Reth::kWireSize));
+    offset += Reth::kWireSize;
+  }
+  if (opcode_has_aeth(pkt.bth.opcode)) {
+    if (wire.size() < offset + Aeth::kWireSize + 6) return std::nullopt;
+    pkt.aeth = Aeth::parse(std::span<const std::uint8_t, Aeth::kWireSize>(
+        &wire[offset], Aeth::kWireSize));
+    offset += Aeth::kWireSize;
+  }
+
+  if (wire.size() < offset + 6) return std::nullopt;
+  const std::size_t payload_len = wire.size() - offset - 6;
+  pkt.payload.assign(wire.begin() + static_cast<long>(offset),
+                     wire.begin() + static_cast<long>(offset + payload_len));
+  offset += payload_len;
+
+  pkt.icrc = static_cast<std::uint32_t>(wire[offset]) << 24 |
+             static_cast<std::uint32_t>(wire[offset + 1]) << 16 |
+             static_cast<std::uint32_t>(wire[offset + 2]) << 8 |
+             wire[offset + 3];
+  pkt.vcrc = static_cast<std::uint16_t>(wire[offset + 4] << 8 |
+                                        wire[offset + 5]);
+  return pkt;
+}
+
+}  // namespace ibsec::ib

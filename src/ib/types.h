@@ -1,0 +1,64 @@
+// Basic InfiniBand Architecture identifier types (IBA spec v1.1, vol. 1).
+//
+// Kept as strong-ish typedefs: these are wire-format quantities with fixed
+// widths, so the code uses exact-width integers and named constants instead
+// of bare ints.
+#pragma once
+
+#include <cstdint>
+
+namespace ibsec::ib {
+
+/// Local Identifier: 16-bit address assigned by the Subnet Manager to each
+/// port in a subnet.
+using Lid = std::uint16_t;
+
+/// Queue Pair Number: 24 bits on the wire.
+using Qpn = std::uint32_t;
+constexpr Qpn kQpnMask = 0x00FFFFFF;
+
+/// Partition Key: 16 bits; the top bit is the membership type (1 = full
+/// member, 0 = limited member), low 15 bits are the partition index.
+using PKeyValue = std::uint16_t;
+
+/// Queue Key for datagram service: 32 bits.
+using QKeyValue = std::uint32_t;
+
+/// Memory region keys for RDMA.
+using RKeyValue = std::uint32_t;
+using LKeyValue = std::uint32_t;
+
+/// Management Key (subnet management authority): 64 bits.
+using MKeyValue = std::uint64_t;
+/// Baseboard management key: 64 bits.
+using BKeyValue = std::uint64_t;
+
+/// Packet Sequence Number: 24 bits.
+using Psn = std::uint32_t;
+constexpr Psn kPsnMask = 0x00FFFFFF;
+
+/// Virtual lane index (0-15; VL15 is reserved for subnet management).
+using VirtualLane = std::uint8_t;
+constexpr VirtualLane kManagementVl = 15;
+
+/// Service level (0-15), mapped to a VL by the SL-to-VL table.
+using ServiceLevel = std::uint8_t;
+
+/// Well-known QP numbers.
+constexpr Qpn kQp0SubnetManagement = 0;  // SMI (uses VL15, bypasses P_Key)
+constexpr Qpn kQp1GeneralManagement = 1; // GSI
+
+/// The default partition key every port starts with.
+constexpr PKeyValue kDefaultPKey = 0xFFFF;
+
+/// Full-membership bit of a P_Key.
+constexpr PKeyValue kPKeyMembershipBit = 0x8000;
+
+/// Two P_Keys "match" when their low 15 bits agree and at least one has
+/// full membership (IBA 10.9.3).
+constexpr bool pkeys_match(PKeyValue a, PKeyValue b) {
+  return ((a & 0x7FFF) == (b & 0x7FFF)) &&
+         ((a & kPKeyMembershipBit) || (b & kPKeyMembershipBit));
+}
+
+}  // namespace ibsec::ib

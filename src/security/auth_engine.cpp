@@ -1,0 +1,98 @@
+#include "security/auth_engine.h"
+
+namespace ibsec::security {
+
+AuthEngine::AuthEngine(transport::ChannelAdapter& ca) : ca_(ca) {
+  ca_.set_authenticator(this);
+}
+
+void AuthEngine::enable_for_partition(ib::PKeyValue pkey) {
+  enabled_partitions_.insert(pkey & 0x7FFF);
+}
+
+void AuthEngine::disable_for_partition(ib::PKeyValue pkey) {
+  enabled_partitions_.erase(pkey & 0x7FFF);
+}
+
+bool AuthEngine::enabled_for(ib::PKeyValue pkey) const {
+  return enabled_partitions_.count(pkey & 0x7FFF) != 0;
+}
+
+bool AuthEngine::policy_applies(ib::PKeyValue pkey) const {
+  return authenticate_all_ || enabled_for(pkey);
+}
+
+bool AuthEngine::sign(ib::Packet& pkt) {
+  if (key_manager_ == nullptr || !policy_applies(pkt.bth.pkey)) return false;
+  const crypto::MacFunction* mac = key_manager_->tx_mac(pkt);
+  if (mac == nullptr) return false;
+
+  // The algorithm id rides in the ICRC-masked reserved byte, and the length
+  // field is covered, so it must be set before tagging.
+  pkt.bth.resv8a = static_cast<std::uint8_t>(mac->algorithm());
+  pkt.set_lengths();
+  pkt.icrc = mac->tag32(pkt.icrc_covered_bytes(), pkt.bth.psn);
+  pkt.refresh_vcrc();
+  ++stats_.signed_packets;
+  return true;
+}
+
+transport::AuthVerdict AuthEngine::verify(const ib::Packet& pkt) {
+  const bool required = policy_applies(pkt.bth.pkey);
+
+  if (pkt.bth.resv8a == 0) {
+    // Legacy packet with a plain ICRC.
+    if (required) {
+      ++stats_.unauthenticated_rejected;
+      return transport::AuthVerdict::kNotAuthenticated;
+    }
+    if (!pkt.icrc_valid()) {
+      ++stats_.bad_tag;
+      return transport::AuthVerdict::kRejectBadTag;
+    }
+    ++stats_.plain_accepted;
+    return transport::AuthVerdict::kAccept;
+  }
+
+  // Authenticated packet: locate the stream's secret(s). The previous-epoch
+  // secret (key rotation grace window) is consulted only when the current
+  // one fails — packets signed just before a rotation still verify.
+  const crypto::MacFunction* mac =
+      key_manager_ ? key_manager_->rx_mac(pkt) : nullptr;
+  const crypto::MacFunction* prev =
+      key_manager_ ? key_manager_->rx_mac_previous(pkt) : nullptr;
+  if (mac == nullptr && prev == nullptr) {
+    ++stats_.no_key;
+    return transport::AuthVerdict::kRejectNoKey;
+  }
+  const auto bytes = pkt.icrc_covered_bytes();
+  const auto accepts = [&](const crypto::MacFunction* m) {
+    // Algorithm mismatch fails closed: no downgrade negotiation.
+    return m != nullptr &&
+           static_cast<std::uint8_t>(m->algorithm()) == pkt.bth.resv8a &&
+           m->verify(bytes, pkt.bth.psn, pkt.icrc);
+  };
+  if (!accepts(mac)) {
+    if (accepts(prev)) {
+      ++stats_.previous_epoch_accepted;
+    } else {
+      ++stats_.bad_tag;
+      return transport::AuthVerdict::kRejectBadTag;
+    }
+  }
+
+  if (replay_protection_) {
+    const ib::Qpn src_qp = pkt.deth ? pkt.deth->src_qp : 0;
+    ReplayWindow& window =
+        windows_[{pkt.bth.dest_qp, pkt.lrh.slid, src_qp}];
+    if (!window.accept(pkt.bth.psn)) {
+      ++stats_.replays;
+      return transport::AuthVerdict::kRejectReplay;
+    }
+  }
+
+  ++stats_.verified_ok;
+  return transport::AuthVerdict::kAccept;
+}
+
+}  // namespace ibsec::security

@@ -1,0 +1,58 @@
+#include "security/partition_key_manager.h"
+
+namespace ibsec::security {
+
+PartitionKeyManager::PartitionKeyManager(transport::ChannelAdapter& ca)
+    : ca_(ca) {
+  ca_.add_mad_handler([this](const transport::Mad& mad) {
+    if (mad.type != transport::MadType::kKeyDistribution) return false;
+    ++received_;
+    const auto secret = ca_.unwrap(mad.blob);
+    if (!secret || secret->size() != 16) {
+      ++unwrap_failures_;
+      return true;
+    }
+    install(mad.pkey, mad.auth_alg, *secret);
+    return true;
+  });
+}
+
+void PartitionKeyManager::install(ib::PKeyValue pkey,
+                                  crypto::AuthAlgorithm alg,
+                                  std::span<const std::uint8_t> secret) {
+  Entry& entry = table_[pkey & 0x7FFF];
+  if (entry.current) {
+    entry.previous = std::move(entry.current);
+    ++entry.epoch;
+  }
+  entry.current = crypto::make_mac(alg, secret);
+}
+
+const PartitionKeyManager::Entry* PartitionKeyManager::lookup(
+    ib::PKeyValue pkey) const {
+  const auto it = table_.find(pkey & 0x7FFF);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t PartitionKeyManager::epoch_of(ib::PKeyValue pkey) const {
+  const Entry* entry = lookup(pkey);
+  return entry ? entry->epoch : 0;
+}
+
+const crypto::MacFunction* PartitionKeyManager::tx_mac(const ib::Packet& pkt) {
+  const Entry* entry = lookup(pkt.bth.pkey);
+  return entry ? entry->current.get() : nullptr;
+}
+
+const crypto::MacFunction* PartitionKeyManager::rx_mac(const ib::Packet& pkt) {
+  const Entry* entry = lookup(pkt.bth.pkey);
+  return entry ? entry->current.get() : nullptr;
+}
+
+const crypto::MacFunction* PartitionKeyManager::rx_mac_previous(
+    const ib::Packet& pkt) {
+  const Entry* entry = lookup(pkt.bth.pkey);
+  return entry ? entry->previous.get() : nullptr;
+}
+
+}  // namespace ibsec::security

@@ -1,0 +1,130 @@
+#include "security/qp_key_manager.h"
+
+namespace ibsec::security {
+
+QpKeyManager::QpKeyManager(transport::ChannelAdapter& ca,
+                           crypto::AuthAlgorithm alg)
+    : ca_(ca), alg_(alg) {
+  ca_.add_mad_handler(
+      [this](const transport::Mad& mad) { return handle_mad(mad); });
+}
+
+bool QpKeyManager::establish_rc(ib::Qpn local_qp, int peer_node,
+                                ib::Qpn peer_qpn) {
+  const std::vector<std::uint8_t> secret = ca_.drbg().generate(16);
+  const auto wrapped = ca_.wrap_for(peer_node, secret);
+  if (!wrapped) return false;
+  rc_table_[local_qp] = crypto::make_mac(alg_, secret);
+
+  transport::Mad mad;
+  mad.type = transport::MadType::kRcConnect;
+  mad.src_node = static_cast<std::uint16_t>(ca_.node());
+  mad.src_qp = local_qp;
+  mad.dst_qp = peer_qpn;
+  mad.auth_alg = alg_;
+  mad.blob = *wrapped;
+  ca_.send_mad(peer_node, mad);
+  return true;
+}
+
+bool QpKeyManager::request_qkey(ib::Qpn local_qp, int peer_node,
+                                ib::Qpn peer_qp) {
+  transport::Mad mad;
+  mad.type = transport::MadType::kQKeyRequest;
+  mad.src_node = static_cast<std::uint16_t>(ca_.node());
+  mad.src_qp = local_qp;
+  mad.dst_qp = peer_qp;
+  ca_.send_mad(peer_node, mad);
+  return true;
+}
+
+std::optional<ib::QKeyValue> QpKeyManager::qkey_for(ib::Qpn local_qp,
+                                                    int peer_node,
+                                                    ib::Qpn peer_qp) const {
+  const auto it = learned_qkeys_.find({local_qp, peer_node, peer_qp});
+  if (it == learned_qkeys_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool QpKeyManager::handle_mad(const transport::Mad& mad) {
+  switch (mad.type) {
+    case transport::MadType::kRcConnect: {
+      const auto secret = ca_.unwrap(mad.blob);
+      if (!secret || secret->size() != 16) {
+        ++unwrap_failures_;
+        return true;
+      }
+      // The responder's RC QP is named by dst_qp; one peer per RC QP.
+      rc_table_[mad.dst_qp] = crypto::make_mac(mad.auth_alg, *secret);
+      return true;
+    }
+
+    case transport::MadType::kQKeyRequest: {
+      transport::QueuePair* qp = ca_.find_qp(mad.dst_qp);
+      if (qp == nullptr ||
+          qp->type != transport::ServiceType::kUnreliableDatagram) {
+        return true;
+      }
+      // A fresh secret per request: the same Q_Key ends up with one entry
+      // per requester, disambiguated by the source QP (paper Figure 3).
+      const std::vector<std::uint8_t> secret = ca_.drbg().generate(16);
+      ud_rx_table_[{mad.dst_qp, mad.src_node, mad.src_qp}] =
+          crypto::make_mac(alg_, secret);
+      const auto wrapped = ca_.wrap_for(mad.src_node, secret);
+      if (!wrapped) return true;
+
+      transport::Mad resp;
+      resp.type = transport::MadType::kQKeyResponse;
+      resp.src_node = static_cast<std::uint16_t>(ca_.node());
+      resp.qkey = qp->qkey;
+      resp.src_qp = mad.dst_qp;  // responder's QP
+      resp.dst_qp = mad.src_qp;  // requester's QP
+      resp.auth_alg = alg_;
+      resp.blob = *wrapped;
+      ca_.send_mad(mad.src_node, resp);
+      return true;
+    }
+
+    case transport::MadType::kQKeyResponse: {
+      const auto secret = ca_.unwrap(mad.blob);
+      if (!secret || secret->size() != 16) {
+        ++unwrap_failures_;
+        return true;
+      }
+      const PeerKey key{mad.dst_qp, mad.src_node, mad.src_qp};
+      ud_tx_table_[key] = crypto::make_mac(mad.auth_alg, *secret);
+      learned_qkeys_[key] = mad.qkey;
+      for (const auto& cb : on_ready_) cb(mad.src_node, mad.src_qp, mad.qkey);
+      return true;
+    }
+
+    default:
+      return false;
+  }
+}
+
+const crypto::MacFunction* QpKeyManager::tx_mac(const ib::Packet& pkt) {
+  if (pkt.deth) {
+    const auto it = ud_tx_table_.find({pkt.meta.src_qp,
+                                       static_cast<int>(pkt.meta.dst_node),
+                                       pkt.bth.dest_qp});
+    return it == ud_tx_table_.end() ? nullptr : it->second.get();
+  }
+  const auto it = rc_table_.find(pkt.meta.src_qp);
+  return it == rc_table_.end() ? nullptr : it->second.get();
+}
+
+const crypto::MacFunction* QpKeyManager::rx_mac(const ib::Packet& pkt) {
+  if (pkt.deth) {
+    // (receiving QP, sender node from the SLID, sender QP from the DETH) —
+    // all wire-derived, nothing the simulator "knows" that hardware wouldn't.
+    const int sender_node = static_cast<int>(pkt.lrh.slid) - 1;
+    const auto it =
+        ud_rx_table_.find({pkt.bth.dest_qp, sender_node, pkt.deth->src_qp});
+    return it == ud_rx_table_.end() ? nullptr : it->second.get();
+  }
+  const auto it = rc_table_.find(pkt.bth.dest_qp);
+  return it == rc_table_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace ibsec::security

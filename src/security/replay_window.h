@@ -1,0 +1,62 @@
+// Anti-replay sliding window over packet sequence numbers.
+//
+// The paper's Discussion (sec. 7) notes that even with MAC authentication a
+// captured packet can be replayed verbatim, and suggests nonces (timestamps
+// or sequence numbers) as the defence. Since the PSN is already the UMAC
+// nonce and is mixed into HMAC tags, a replayed packet carries a *stale*
+// PSN; this window makes the receiver reject it. IPsec-style: accept PSNs
+// ahead of the highest seen (sliding forward) or within the window and not
+// yet marked. The 24-bit PSN wraps; a wrap is treated as "far ahead".
+#pragma once
+
+#include <cstdint>
+
+#include "ib/types.h"
+
+namespace ibsec::security {
+
+class ReplayWindow {
+ public:
+  static constexpr unsigned kWindowBits = 64;
+
+  /// Returns true (and records the PSN) if the packet is fresh; false for a
+  /// duplicate or a PSN older than the window.
+  bool accept(ib::Psn psn) {
+    if (!initialized_) {
+      initialized_ = true;
+      highest_ = psn;
+      bitmap_ = 1;  // bit 0 = highest_
+      return true;
+    }
+    // Signed distance on the 24-bit circle.
+    const std::int32_t forward =
+        static_cast<std::int32_t>((psn - highest_) & ib::kPsnMask);
+    if (forward != 0 && forward < (1 << 23)) {
+      // Ahead of everything seen: slide the window forward.
+      if (forward >= static_cast<std::int32_t>(kWindowBits)) {
+        bitmap_ = 1;
+      } else {
+        bitmap_ = (bitmap_ << forward) | 1u;
+      }
+      highest_ = psn;
+      return true;
+    }
+    // Behind (or equal): distance back from the highest PSN.
+    const std::uint32_t back = (highest_ - psn) & ib::kPsnMask;
+    if (back >= kWindowBits) return false;  // too old to judge -> reject
+    const std::uint64_t bit = 1ULL << back;
+    if (bitmap_ & bit) return false;  // replay
+    bitmap_ |= bit;
+    return true;
+  }
+
+  ib::Psn highest() const { return highest_; }
+  bool seen_anything() const { return initialized_; }
+
+ private:
+  bool initialized_ = false;
+  ib::Psn highest_ = 0;
+  std::uint64_t bitmap_ = 0;
+};
+
+}  // namespace ibsec::security

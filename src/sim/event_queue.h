@@ -1,0 +1,57 @@
+// Discrete-event queue: a time-ordered priority queue of callbacks.
+//
+// Ties are broken by insertion sequence number so that events scheduled for
+// the same instant fire in FIFO order — this makes the whole simulation a
+// deterministic function of (topology, seed), which the experiment sweeps
+// and regression tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace ibsec::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule(SimTime when, Callback fn) {
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  SimTime next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event's callback, advancing nothing
+  /// else; the Simulator owns the clock.
+  Callback pop(SimTime& time_out) {
+    // top() is const; the callback must be moved out, so re-wrap.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    time_out = ev.time;
+    return std::move(ev.fn);
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ibsec::sim

@@ -1,0 +1,60 @@
+// The simulation kernel: a clock plus an event queue.
+//
+// Components (links, switches, HCAs, the subnet manager, traffic sources)
+// hold a Simulator& and schedule callbacks on it. One Simulator instance is
+// strictly single-threaded; parallelism in this codebase happens only
+// *across* independent Simulator instances (see common/thread_pool.h).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace ibsec::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void at(SimTime when, EventQueue::Callback fn) {
+    queue_.schedule(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  /// Schedules `fn` `delay` after the current time.
+  void after(SimTime delay, EventQueue::Callback fn) {
+    queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or the clock passes `end`.
+  /// Events scheduled exactly at `end` are executed.
+  void run_until(SimTime end) {
+    while (!queue_.empty() && queue_.next_time() <= end) {
+      step();
+    }
+    if (now_ < end) now_ = end;
+  }
+
+  /// Runs until the queue is empty.
+  void run() {
+    while (!queue_.empty()) step();
+  }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  void step() {
+    SimTime t = now_;
+    auto fn = queue_.pop(t);
+    now_ = t;
+    ++events_processed_;
+    fn();
+  }
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace ibsec::sim

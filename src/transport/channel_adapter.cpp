@@ -1,0 +1,518 @@
+#include "transport/channel_adapter.h"
+
+namespace ibsec::transport {
+namespace {
+
+ib::VirtualLane vl_for(ib::PacketMeta::TrafficClass tclass) {
+  switch (tclass) {
+    case ib::PacketMeta::TrafficClass::kRealtime:
+      return fabric::kRealtimeVl;
+    case ib::PacketMeta::TrafficClass::kManagement:
+      return ib::kManagementVl;
+    case ib::PacketMeta::TrafficClass::kBestEffort:
+      break;
+  }
+  return fabric::kBestEffortVl;
+}
+
+}  // namespace
+
+ChannelAdapter::ChannelAdapter(fabric::Fabric& fabric, int node,
+                               PkiDirectory& pki, std::uint64_t key_seed,
+                               std::size_t rsa_bits)
+    : fabric_(fabric),
+      node_(node),
+      pki_(pki),
+      drbg_(key_seed ^ (0x1BA5EC0000ULL + static_cast<std::uint64_t>(node))),
+      keypair_(crypto::rsa_generate(rsa_bits, drbg_)) {
+  pki_.register_node(node_, keypair_.public_key);
+  partition_table_.add(ib::kDefaultPKey);
+  fabric_.hca(node_).set_receive_callback(
+      [this](ib::Packet&& pkt) { on_packet(std::move(pkt)); });
+}
+
+std::optional<std::vector<std::uint8_t>> ChannelAdapter::wrap_for(
+    int node, std::span<const std::uint8_t> plaintext) {
+  const auto pub = pki_.public_key_of(node);
+  if (!pub) return std::nullopt;
+  return crypto::rsa_encrypt(*pub, plaintext, drbg_);
+}
+
+bool ChannelAdapter::register_memory(const ib::MemoryRegion& region,
+                                     std::vector<std::uint8_t> initial) {
+  if (!memory_table_.register_region(region)) return false;
+  initial.resize(region.length, 0);
+  memory_[region.rkey] = std::move(initial);
+  return true;
+}
+
+const std::vector<std::uint8_t>* ChannelAdapter::memory_of(
+    ib::RKeyValue rkey) const {
+  const auto it = memory_.find(rkey);
+  return it == memory_.end() ? nullptr : &it->second;
+}
+
+QueuePair& ChannelAdapter::create_qp(ServiceType type, ib::PKeyValue pkey) {
+  QueuePair qp;
+  qp.qpn = next_qpn_++;
+  qp.type = type;
+  qp.pkey = pkey;
+  if (type == ServiceType::kUnreliableDatagram) {
+    qp.qkey = static_cast<ib::QKeyValue>(drbg_.next_u64());
+  }
+  return qps_.emplace(qp.qpn, qp).first->second;
+}
+
+QueuePair* ChannelAdapter::find_qp(ib::Qpn qpn) {
+  const auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : &it->second;
+}
+
+void ChannelAdapter::bind_rc(ib::Qpn local, int peer_node, ib::Qpn peer_qpn) {
+  QueuePair* qp = find_qp(local);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection) return;
+  qp->peer_node = peer_node;
+  qp->peer_qpn = peer_qpn;
+  qp->connected = true;
+}
+
+ib::Packet ChannelAdapter::make_packet(ib::PacketMeta::TrafficClass tclass,
+                                       int dst_node, ib::PKeyValue pkey) {
+  ib::Packet pkt;
+  pkt.lrh.vl = vl_for(tclass);
+  pkt.lrh.sl = pkt.lrh.vl;  // identity SL->VL map
+  pkt.lrh.slid = fabric_.lid_of_node(node_);
+  pkt.lrh.dlid = fabric_.lid_of_node(dst_node);
+  pkt.bth.pkey = pkey;
+  pkt.meta.created_at = fabric_.simulator().now();
+  pkt.meta.src_node = static_cast<std::uint32_t>(node_);
+  pkt.meta.dst_node = static_cast<std::uint32_t>(dst_node);
+  pkt.meta.traffic_class = tclass;
+  pkt.meta.message_id = next_message_id_++;
+  return pkt;
+}
+
+bool ChannelAdapter::post_send(ib::Qpn local_qp,
+                               std::vector<std::uint8_t> payload,
+                               ib::PacketMeta::TrafficClass tclass,
+                               int dst_node, ib::Qpn dst_qp,
+                               ib::QKeyValue remote_qkey, SimTime created_at) {
+  QueuePair* qp = find_qp(local_qp);
+  if (qp == nullptr) return false;
+  if (payload.size() > fabric_.config().mtu_bytes) return false;
+
+  int target_node = dst_node;
+  ib::Qpn target_qp = dst_qp;
+  if (qp->type == ServiceType::kReliableConnection) {
+    if (!qp->connected) return false;
+    target_node = qp->peer_node;
+    target_qp = qp->peer_qpn;
+  } else if (target_node < 0) {
+    return false;
+  }
+
+  ib::Packet pkt = make_packet(tclass, target_node, qp->pkey);
+  if (created_at >= 0) pkt.meta.created_at = created_at;
+  pkt.bth.opcode = qp->type == ServiceType::kReliableConnection
+                       ? ib::OpCode::kRcSendOnly
+                       : ib::OpCode::kUdSendOnly;
+  pkt.bth.dest_qp = target_qp;
+  pkt.bth.psn = qp->take_psn();
+  pkt.meta.src_qp = qp->qpn;
+  if (qp->type == ServiceType::kUnreliableDatagram) {
+    pkt.deth = ib::Deth{remote_qkey, qp->qpn};
+  }
+  pkt.payload = std::move(payload);
+
+  ++qp->counters.sent;
+  sign_and_send(std::move(pkt));
+  return true;
+}
+
+bool ChannelAdapter::post_message(ib::Qpn local_qp,
+                                  std::vector<std::uint8_t> message,
+                                  ib::PacketMeta::TrafficClass tclass) {
+  QueuePair* qp = find_qp(local_qp);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
+      !qp->connected) {
+    return false;
+  }
+  const std::size_t mtu = fabric_.config().mtu_bytes;
+  if (message.size() <= mtu) {
+    return post_send(local_qp, std::move(message), tclass);
+  }
+
+  const std::size_t segments = (message.size() + mtu - 1) / mtu;
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    ib::Packet pkt = make_packet(tclass, qp->peer_node, qp->pkey);
+    pkt.bth.opcode = seg == 0 ? ib::OpCode::kRcSendFirst
+                     : seg + 1 == segments ? ib::OpCode::kRcSendLast
+                                           : ib::OpCode::kRcSendMiddle;
+    pkt.bth.dest_qp = qp->peer_qpn;
+    pkt.bth.psn = qp->take_psn();
+    pkt.meta.src_qp = qp->qpn;
+    const std::size_t offset = seg * mtu;
+    const std::size_t len = std::min(mtu, message.size() - offset);
+    pkt.payload.assign(message.begin() + static_cast<long>(offset),
+                       message.begin() + static_cast<long>(offset + len));
+    ++qp->counters.sent;
+    sign_and_send(std::move(pkt));
+  }
+  return true;
+}
+
+bool ChannelAdapter::post_rdma_write(ib::Qpn local_qp, std::uint64_t remote_va,
+                                     ib::RKeyValue rkey,
+                                     std::vector<std::uint8_t> payload,
+                                     ib::PacketMeta::TrafficClass tclass,
+                                     bool ack_req) {
+  QueuePair* qp = find_qp(local_qp);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
+      !qp->connected) {
+    return false;
+  }
+  if (payload.size() > fabric_.config().mtu_bytes) return false;
+
+  ib::Packet pkt = make_packet(tclass, qp->peer_node, qp->pkey);
+  pkt.bth.opcode = ib::OpCode::kRcRdmaWriteOnly;
+  pkt.bth.dest_qp = qp->peer_qpn;
+  pkt.bth.psn = qp->take_psn();
+  pkt.bth.ack_req = ack_req;
+  pkt.meta.src_qp = qp->qpn;
+  pkt.reth = ib::Reth{remote_va, rkey,
+                      static_cast<std::uint32_t>(payload.size())};
+  pkt.payload = std::move(payload);
+
+  ++qp->counters.sent;
+  sign_and_send(std::move(pkt));
+  return true;
+}
+
+bool ChannelAdapter::post_rdma_read(ib::Qpn local_qp, std::uint64_t remote_va,
+                                    ib::RKeyValue rkey, std::uint32_t length,
+                                    ib::PacketMeta::TrafficClass tclass) {
+  QueuePair* qp = find_qp(local_qp);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
+      !qp->connected) {
+    return false;
+  }
+  if (length > fabric_.config().mtu_bytes) return false;
+
+  ib::Packet pkt = make_packet(tclass, qp->peer_node, qp->pkey);
+  pkt.bth.opcode = ib::OpCode::kRcRdmaReadRequest;
+  pkt.bth.dest_qp = qp->peer_qpn;
+  pkt.bth.psn = qp->take_psn();
+  pkt.meta.src_qp = qp->qpn;
+  pkt.reth = ib::Reth{remote_va, rkey, length};
+
+  outstanding_reads_[{local_qp, pkt.bth.psn}] = {remote_va, length};
+  ++qp->counters.sent;
+  sign_and_send(std::move(pkt));
+  return true;
+}
+
+void ChannelAdapter::sign_and_send(ib::Packet&& pkt) {
+  if (authenticator_ == nullptr || !authenticator_->sign(pkt)) {
+    pkt.bth.resv8a = 0;
+    pkt.finalize();
+  }
+  fabric_.hca(node_).send(std::move(pkt));
+}
+
+void ChannelAdapter::inject_raw(ib::Packet&& pkt) {
+  fabric_.hca(node_).send(std::move(pkt));
+}
+
+void ChannelAdapter::send_mad(int dst_node, const Mad& mad) {
+  ib::Packet pkt =
+      make_packet(ib::PacketMeta::TrafficClass::kManagement, dst_node,
+                  ib::kDefaultPKey);
+  pkt.bth.opcode = ib::OpCode::kUdSendOnly;
+  pkt.bth.dest_qp = ib::kQp0SubnetManagement;
+  pkt.deth = ib::Deth{0, ib::kQp0SubnetManagement};
+  pkt.payload = mad.serialize();
+  pkt.bth.resv8a = 0;
+  pkt.finalize();
+  fabric_.hca(node_).send(std::move(pkt));
+}
+
+void ChannelAdapter::deliver_local_mad(const Mad& mad) {
+  ++counters_.mads_received;
+  if (mad.type == MadType::kPortReconfigure) {
+    handle_port_reconfigure(mad);
+    return;
+  }
+  for (const MadHandler& handler : mad_handlers_) {
+    if (handler(mad)) return;
+  }
+}
+
+void ChannelAdapter::add_mad_handler(MadHandler handler) {
+  mad_handlers_.push_back(std::move(handler));
+}
+
+std::uint32_t ChannelAdapter::port_attribute(std::uint32_t attr) const {
+  const auto it = port_attributes_.find(attr);
+  return it == port_attributes_.end() ? 0 : it->second;
+}
+
+void ChannelAdapter::on_packet(ib::Packet&& pkt) {
+  // End-node link-layer integrity: corruption on the final hop (the
+  // switch->HCA link) reaches us unchecked by any switch.
+  if (!pkt.vcrc_valid()) {
+    ++counters_.vcrc_errors;
+    return;
+  }
+  if (pkt.lrh.vl == ib::kManagementVl &&
+      pkt.bth.dest_qp == ib::kQp0SubnetManagement) {
+    handle_mad_packet(pkt);
+    return;
+  }
+  handle_data_packet(std::move(pkt));
+}
+
+void ChannelAdapter::handle_mad_packet(const ib::Packet& pkt) {
+  ++counters_.mads_received;
+  const auto mad = Mad::parse(pkt.payload);
+  if (!mad) return;
+  if (mad->type == MadType::kPortReconfigure) {
+    handle_port_reconfigure(*mad);
+    return;
+  }
+  for (const MadHandler& handler : mad_handlers_) {
+    if (handler(*mad)) return;
+  }
+}
+
+bool ChannelAdapter::handle_port_reconfigure(const Mad& mad) {
+  // The key is the *only* authority check (IBA semantics): attributes below
+  // kBaseboardAttributeBase are subnet-management state gated by the M_Key;
+  // attributes at/above it are baseboard (hardware) state gated by the
+  // B_Key. Whoever holds the key — legitimately or through packet capture —
+  // can rewrite the state (paper Table 3, M_Key/B_Key rows).
+  const bool is_baseboard = mad.attribute >= kBaseboardAttributeBase;
+  const std::uint64_t required =
+      is_baseboard ? node_keys_.b_key : node_keys_.m_key;
+  if (mad.m_key != required) {
+    ++counters_.reconfigs_rejected;
+    return false;
+  }
+  port_attributes_[mad.attribute] = mad.value;
+  ++counters_.reconfigs_applied;
+  return true;
+}
+
+void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
+  // 1. Partition enforcement at the end node (always present in IBA).
+  if (!partition_table_.contains(pkt.bth.pkey)) {
+    ++counters_.pkey_violations;
+    if (sm_node_ >= 0) {
+      Mad trap;
+      trap.type = MadType::kTrapPKeyViolation;
+      trap.src_node = static_cast<std::uint16_t>(node_);
+      trap.pkey = pkt.bth.pkey;
+      trap.src_qp = pkt.deth ? pkt.deth->src_qp : 0;
+      // The violating sender's node is identified by the packet's SLID.
+      trap.value = pkt.lrh.slid;
+      ++counters_.traps_sent;
+      send_mad(sm_node_, trap);
+    }
+    return;
+  }
+
+  // 2. Authentication (the paper's mechanism). Without an authenticator the
+  // plain ICRC is checked as ordinary error detection.
+  if (authenticator_ != nullptr) {
+    switch (authenticator_->verify(pkt)) {
+      case AuthVerdict::kAccept:
+        break;
+      case AuthVerdict::kNotAuthenticated:
+        ++counters_.auth_unauthenticated;
+        return;
+      case AuthVerdict::kRejectBadTag:
+      case AuthVerdict::kRejectNoKey:
+      case AuthVerdict::kRejectReplay:
+        ++counters_.auth_rejected;
+        return;
+    }
+  } else if (pkt.bth.resv8a == 0 && !pkt.icrc_valid()) {
+    ++counters_.icrc_errors;
+    return;
+  }
+
+  // 3. RDMA executes against the memory table without QP involvement.
+  if (pkt.bth.opcode == ib::OpCode::kRcRdmaWriteOnly) {
+    apply_rdma_write(pkt);
+    maybe_send_ack(pkt);
+    return;
+  }
+  if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadRequest) {
+    serve_rdma_read(pkt);
+    return;
+  }
+  if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadResponse) {
+    complete_rdma_read(pkt);
+    return;
+  }
+  if (pkt.bth.opcode == ib::OpCode::kRcAck) {
+    ++counters_.acks_received;
+    return;
+  }
+
+  // 4. SEND delivery: locate the destination QP; UD checks the Q_Key.
+  QueuePair* qp = find_qp(pkt.bth.dest_qp);
+  if (qp == nullptr) return;
+  if (qp->type == ServiceType::kUnreliableDatagram) {
+    if (!pkt.deth || pkt.deth->qkey != qp->qkey) {
+      ++counters_.qkey_violations;
+      ++qp->counters.dropped_bad_qkey;
+      return;
+    }
+  } else {
+    track_rc_psn(pkt, *qp);
+  }
+  ++qp->counters.received;
+  ++counters_.delivered;
+  if (probe_) probe_(pkt);
+  if (receive_handler_) receive_handler_(pkt, *qp);
+
+  // Message assembly: SEND-only delivers immediately; First/Middle/Last
+  // reassemble in arrival order (RC is PSN-ordered on this lossless fabric).
+  switch (pkt.bth.opcode) {
+    case ib::OpCode::kRcSendOnly:
+    case ib::OpCode::kUdSendOnly:
+      ++counters_.messages_delivered;
+      if (message_handler_) message_handler_(pkt.payload, *qp);
+      break;
+    case ib::OpCode::kRcSendFirst: {
+      Reassembly& r = reassembly_[qp->qpn];
+      if (r.active) ++counters_.reassembly_errors;  // abandoned message
+      r.active = true;
+      r.data = pkt.payload;
+      break;
+    }
+    case ib::OpCode::kRcSendMiddle: {
+      Reassembly& r = reassembly_[qp->qpn];
+      if (!r.active) {
+        ++counters_.reassembly_errors;
+        break;
+      }
+      r.data.insert(r.data.end(), pkt.payload.begin(), pkt.payload.end());
+      break;
+    }
+    case ib::OpCode::kRcSendLast: {
+      Reassembly& r = reassembly_[qp->qpn];
+      if (!r.active) {
+        ++counters_.reassembly_errors;
+        break;
+      }
+      r.data.insert(r.data.end(), pkt.payload.begin(), pkt.payload.end());
+      r.active = false;
+      ++counters_.messages_delivered;
+      if (message_handler_) message_handler_(std::move(r.data), *qp);
+      r.data.clear();
+      break;
+    }
+    default:
+      break;
+  }
+  maybe_send_ack(pkt);
+}
+
+void ChannelAdapter::track_rc_psn(const ib::Packet& pkt, QueuePair& qp) {
+  // RC delivery is expected in PSN order (the lossless fabric preserves
+  // per-VL FIFO); deviations are counted, not dropped — the simulator has
+  // no retransmission path to exercise.
+  if (pkt.bth.psn != qp.expected_psn) {
+    ++counters_.rc_out_of_order;
+  }
+  qp.expected_psn = (pkt.bth.psn + 1) & ib::kPsnMask;
+}
+
+void ChannelAdapter::maybe_send_ack(const ib::Packet& pkt) {
+  if (!pkt.bth.ack_req) return;
+  QueuePair* qp = find_qp(pkt.bth.dest_qp);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
+      !qp->connected) {
+    return;
+  }
+  ib::Packet ack = make_packet(ib::PacketMeta::TrafficClass::kBestEffort,
+                               qp->peer_node, qp->pkey);
+  ack.bth.opcode = ib::OpCode::kRcAck;
+  ack.bth.dest_qp = qp->peer_qpn;
+  ack.bth.psn = pkt.bth.psn;
+  ack.meta.src_qp = qp->qpn;
+  ack.aeth = ib::Aeth{0x00, pkt.bth.psn & 0x00FFFFFF};
+  ++counters_.acks_sent;
+  sign_and_send(std::move(ack));
+}
+
+void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt) {
+  // Locate the requesting endpoint through the targeted RC QP's binding.
+  QueuePair* qp = find_qp(pkt.bth.dest_qp);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
+      !qp->connected || !pkt.reth) {
+    ++counters_.rdma_rejected;
+    return;
+  }
+  ib::Packet resp = make_packet(ib::PacketMeta::TrafficClass::kBestEffort,
+                                qp->peer_node, qp->pkey);
+  resp.bth.opcode = ib::OpCode::kRcRdmaReadResponse;
+  resp.bth.dest_qp = qp->peer_qpn;
+  resp.bth.psn = pkt.bth.psn;  // echo so the requester can match
+  resp.meta.src_qp = qp->qpn;
+
+  const auto region = memory_table_.check_access(
+      pkt.reth->rkey, pkt.reth->va, pkt.reth->dma_len, /*is_write=*/false);
+  if (!region) {
+    ++counters_.rdma_read_naks;
+    resp.aeth = ib::Aeth{0x60 /*NAK: remote access error*/, pkt.bth.psn};
+  } else {
+    ++counters_.rdma_reads_served;
+    ++counters_.delivered;
+    if (probe_) probe_(pkt);
+    resp.aeth = ib::Aeth{0x00, pkt.bth.psn};
+    const auto& buffer = memory_.at(pkt.reth->rkey);
+    const std::size_t offset =
+        static_cast<std::size_t>(pkt.reth->va - region->va_base);
+    resp.payload.assign(buffer.begin() + static_cast<long>(offset),
+                        buffer.begin() +
+                            static_cast<long>(offset + pkt.reth->dma_len));
+  }
+  sign_and_send(std::move(resp));
+}
+
+void ChannelAdapter::complete_rdma_read(const ib::Packet& pkt) {
+  const auto it = outstanding_reads_.find({pkt.bth.dest_qp, pkt.bth.psn});
+  if (it == outstanding_reads_.end()) return;  // unsolicited response
+  const std::uint64_t va = it->second.first;
+  outstanding_reads_.erase(it);
+  const bool ok = pkt.aeth && pkt.aeth->syndrome == 0x00;
+  if (read_handler_) {
+    read_handler_(pkt.bth.dest_qp, va, pkt.payload, ok);
+  }
+}
+
+void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {
+  if (!pkt.reth) {
+    ++counters_.rdma_rejected;
+    return;
+  }
+  const auto region = memory_table_.check_access(
+      pkt.reth->rkey, pkt.reth->va,
+      static_cast<std::uint32_t>(pkt.payload.size()), /*is_write=*/true);
+  if (!region) {
+    ++counters_.rdma_rejected;
+    return;
+  }
+  auto& buffer = memory_[pkt.reth->rkey];
+  const std::size_t offset =
+      static_cast<std::size_t>(pkt.reth->va - region->va_base);
+  std::copy(pkt.payload.begin(), pkt.payload.end(),
+            buffer.begin() + static_cast<long>(offset));
+  ++counters_.rdma_writes_applied;
+  ++counters_.delivered;
+  if (probe_) probe_(pkt);
+}
+
+}  // namespace ibsec::transport

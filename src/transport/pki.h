@@ -1,0 +1,35 @@
+// The fabric's public-key directory.
+//
+// The paper assumes "the SM knows public keys of all CAs and each CA can
+// decrypt the secret key encrypted by the SM" (sec. 4.2) and, for QP-level
+// management, "each node has a table of public keys of other nodes"
+// (sec. 4.3). This directory is that table: every node registers its RSA
+// public key at bring-up; private keys never leave the owning CA.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/rsa.h"
+
+namespace ibsec::transport {
+
+class PkiDirectory {
+ public:
+  void register_node(int node, crypto::RsaPublicKey key) {
+    keys_[node] = std::move(key);
+  }
+
+  std::optional<crypto::RsaPublicKey> public_key_of(int node) const {
+    const auto it = keys_.find(node);
+    if (it == keys_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::unordered_map<int, crypto::RsaPublicKey> keys_;
+};
+
+}  // namespace ibsec::transport

@@ -1,0 +1,78 @@
+// The Subnet Manager (SM): partition creation, switch enforcement
+// configuration, M_Key assignment, partition-level secret distribution, and
+// the trap handling that arms Stateful Ingress Filtering.
+//
+// SIF control loop (paper sec. 3.3): a victim HCA receives a packet with an
+// invalid P_Key and sends a trap MAD (VL15) to the SM. The SM maps the
+// offender's SLID to its ingress switch and — after the SM->switch
+// programming delay — installs the P_Key in that switch's
+// Invalid_P_Key_Table, arming the port's filter. The switch disarms itself
+// when its Ingress P_Key Violation Counter goes quiet.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "transport/channel_adapter.h"
+
+namespace ibsec::transport {
+
+class SubnetManager {
+ public:
+  /// `cas` must outlive the SM and hold one CA per fabric node. The SM runs
+  /// on `sm_node` and uses that node's CA for MAD traffic.
+  SubnetManager(fabric::Fabric& fabric, std::vector<ChannelAdapter*> cas,
+                int sm_node, std::uint64_t seed);
+
+  int sm_node() const { return sm_node_; }
+
+  // --- partitioning -----------------------------------------------------------
+  /// Creates a partition: installs `pkey` into each member CA's partition
+  /// table and records membership.
+  void create_partition(ib::PKeyValue pkey, const std::vector<int>& members);
+  const std::vector<int>* members_of(ib::PKeyValue pkey) const;
+  std::vector<ib::PKeyValue> all_pkeys() const;
+
+  /// Programs switch partition tables for the configured FilterMode:
+  /// DPT gets the network-wide union at every port; IF/SIF get each node's
+  /// own membership at its ingress port. Call after creating partitions.
+  void configure_switch_enforcement();
+
+  // --- keys -------------------------------------------------------------------
+  /// Gives every CA a distinct M_Key (and remembers them — the SM is the
+  /// legitimate holder).
+  void assign_m_keys();
+  ib::MKeyValue m_key_of(int node) const { return m_keys_.at(node); }
+
+  /// Partition-level key management (paper sec. 4.2): generates a 16-byte
+  /// secret for the partition and sends it to every member CA, RSA-wrapped
+  /// with that CA's public key, via kKeyDistribution MADs. Calling it again
+  /// for the same partition *rotates* the secret: receivers keep the old
+  /// one for a one-epoch grace window (PartitionKeyManager).
+  void distribute_partition_secret(ib::PKeyValue pkey,
+                                   crypto::AuthAlgorithm alg);
+  /// Explicit-intent alias for re-keying a live partition.
+  void rotate_partition_secret(ib::PKeyValue pkey, crypto::AuthAlgorithm alg) {
+    distribute_partition_secret(pkey, alg);
+  }
+
+  // --- statistics ---------------------------------------------------------------
+  std::uint64_t traps_received() const { return traps_received_; }
+  std::uint64_t sif_installs() const { return sif_installs_; }
+
+ private:
+  bool handle_mad(const Mad& mad);
+  void arm_sif(int offender_node, ib::PKeyValue pkey);
+
+  fabric::Fabric& fabric_;
+  std::vector<ChannelAdapter*> cas_;
+  int sm_node_;
+  crypto::CtrDrbg drbg_;
+  std::map<ib::PKeyValue, std::vector<int>> partitions_;
+  std::map<int, ib::MKeyValue> m_keys_;
+  std::uint64_t traps_received_ = 0;
+  std::uint64_t sif_installs_ = 0;
+};
+
+}  // namespace ibsec::transport

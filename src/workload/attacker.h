@@ -1,0 +1,72 @@
+// The DoS attacker of sec. 3.1: a compromised node flooding the fabric at
+// full link speed with random (invalid) P_Keys toward random destinations.
+//
+// Destination HCAs drop every packet at the partition check — "however,
+// they have already gone through the network, incurring a significant delay
+// to other legal traffic". The attacker bypasses its own CA's checks via
+// raw injection (it owns the node) and keeps the wire saturated by pacing
+// injections at the packet serialization time while bounding its local
+// queue.
+//
+// Duty cycling models Figure 5's "probability of DoS attack": time is
+// divided into bursts; at each burst boundary the attacker is active with
+// probability `activity_probability` (1.0 = the always-on attack of Fig. 1).
+#pragma once
+
+#include <set>
+
+#include "common/rng.h"
+#include "transport/channel_adapter.h"
+
+namespace ibsec::workload {
+
+class Attacker {
+ public:
+  struct Params {
+    /// P_Keys the attacker must avoid "accidentally" picking (the legal
+    /// ones) so every flood packet is a partition violation.
+    std::set<ib::PKeyValue> legal_pkeys;
+    double activity_probability = 1.0;
+    SimTime burst_duration = 50 * time_literals::kMicrosecond;
+    /// VL selection per flood packet: when set, every packet uses this VL
+    /// (Fig. 1 runs realtime and best-effort experiments separately, so the
+    /// attacker contends on the measured class's lane); when unset, packets
+    /// alternate randomly between the realtime and best-effort VLs.
+    std::optional<ib::VirtualLane> fixed_vl;
+    /// Keep at most this many packets queued locally so the attacker tracks
+    /// line rate instead of building an unbounded private backlog.
+    std::size_t max_local_queue = 4;
+    /// Sec. 7 variant: flood with this *valid* P_Key (the attacker's own
+    /// partition membership) instead of random invalid ones. Partition
+    /// filtering is then useless; only admission control helps.
+    std::optional<ib::PKeyValue> valid_pkey;
+    /// Destination pool; empty = every node but self. The valid-P_Key
+    /// attack targets same-partition members so no receiver ever traps.
+    std::vector<int> target_nodes;
+  };
+
+  Attacker(transport::ChannelAdapter& ca, Params params, Rng rng);
+
+  void start(SimTime at);
+  void stop() { stopped_ = true; }
+
+  std::uint64_t packets_injected() const { return injected_; }
+  std::uint64_t bursts_active() const { return bursts_active_; }
+
+ private:
+  void burst_boundary();
+  void flood_tick();
+  ib::PKeyValue random_invalid_pkey();
+
+  transport::ChannelAdapter& ca_;
+  Params params_;
+  Rng rng_;
+  bool stopped_ = false;
+  bool active_ = false;
+  bool chain_running_ = false;
+  SimTime injection_interval_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t bursts_active_ = 0;
+};
+
+}  // namespace ibsec::workload

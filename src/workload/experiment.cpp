@@ -1,0 +1,18 @@
+#include "workload/experiment.h"
+
+#include "common/thread_pool.h"
+
+namespace ibsec::workload {
+
+std::vector<ScenarioResult> run_sweep(
+    const std::vector<ScenarioConfig>& configs, unsigned workers) {
+  std::vector<ScenarioResult> results(configs.size());
+  ThreadPool pool(workers);
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    Scenario scenario(configs[i]);
+    results[i] = scenario.run();
+  });
+  return results;
+}
+
+}  // namespace ibsec::workload

@@ -1,0 +1,17 @@
+// Parallel experiment sweeps: each ScenarioConfig runs in its own
+// single-threaded Simulator on a pool worker. Results land at the index of
+// their config, so output ordering never depends on scheduling.
+#pragma once
+
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace ibsec::workload {
+
+/// Runs every configuration (in parallel up to `workers` threads; 0 = all
+/// cores) and returns results in input order.
+std::vector<ScenarioResult> run_sweep(const std::vector<ScenarioConfig>& configs,
+                                      unsigned workers = 0);
+
+}  // namespace ibsec::workload

@@ -1,0 +1,79 @@
+// Per-traffic-class latency metrics — the quantities the paper plots.
+//
+// For every delivered data packet:
+//   queuing time    = injected_at - created_at   (wait inside the source HCA
+//                     for credits/line — the paper's primary DoS signal)
+//   network latency = delivered_at - injected_at (first byte on wire to last
+//                     byte at the destination HCA)
+//
+// Attack packets and packets created during warm-up are excluded, matching
+// the paper's "average delay of non-attacking traffic".
+#pragma once
+
+#include <array>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "ib/packet.h"
+
+namespace ibsec::workload {
+
+struct ClassMetrics {
+  RunningStats queuing_us;
+  RunningStats latency_us;
+  RunningStats total_us;
+  /// Tail-latency view: 1 us buckets up to 4 ms (overflow beyond).
+  Histogram total_hist{4000.0, 4000};
+
+  double total_p50() const { return total_hist.percentile(0.50); }
+  double total_p99() const { return total_hist.percentile(0.99); }
+
+  void merge(const ClassMetrics& other) {
+    queuing_us.merge(other.queuing_us);
+    latency_us.merge(other.latency_us);
+    total_us.merge(other.total_us);
+    // Histograms are not merged (fixed buckets would permit it, but no
+    // caller aggregates across scenarios today).
+  }
+};
+
+class MetricsCollector {
+ public:
+  void set_warmup(SimTime warmup) { warmup_ = warmup; }
+
+  /// Hook this as every CA's delivery probe.
+  void record(const ib::Packet& pkt) {
+    if (pkt.meta.is_attack) return;
+    if (pkt.meta.created_at < warmup_) return;
+    if (pkt.meta.traffic_class == ib::PacketMeta::TrafficClass::kManagement) {
+      return;
+    }
+    ClassMetrics& m = metrics_for(pkt.meta.traffic_class);
+    const double queuing =
+        to_microseconds(pkt.meta.injected_at - pkt.meta.created_at);
+    const double latency =
+        to_microseconds(pkt.meta.delivered_at - pkt.meta.injected_at);
+    m.queuing_us.add(queuing);
+    m.latency_us.add(latency);
+    m.total_us.add(queuing + latency);
+    m.total_hist.add(queuing + latency);
+  }
+
+  ClassMetrics& metrics_for(ib::PacketMeta::TrafficClass tclass) {
+    return classes_[static_cast<std::size_t>(tclass)];
+  }
+  const ClassMetrics& realtime() const {
+    return classes_[static_cast<std::size_t>(
+        ib::PacketMeta::TrafficClass::kRealtime)];
+  }
+  const ClassMetrics& best_effort() const {
+    return classes_[static_cast<std::size_t>(
+        ib::PacketMeta::TrafficClass::kBestEffort)];
+  }
+
+ private:
+  SimTime warmup_ = 0;
+  std::array<ClassMetrics, 3> classes_;
+};
+
+}  // namespace ibsec::workload

@@ -1,0 +1,244 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ibsec::workload {
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  build();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build() {
+  Rng rng(config_.seed);
+
+  fabric_ = std::make_unique<fabric::Fabric>(config_.fabric);
+  const int n = fabric_->node_count();
+
+  cas_.reserve(static_cast<std::size_t>(n));
+  for (int node = 0; node < n; ++node) {
+    cas_.push_back(std::make_unique<transport::ChannelAdapter>(
+        *fabric_, node, pki_, config_.seed, config_.rsa_bits));
+    cas_.back()->set_delivery_probe(
+        [this](const ib::Packet& pkt) { metrics_.record(pkt); });
+  }
+
+  std::vector<transport::ChannelAdapter*> ca_ptrs;
+  for (auto& ca : cas_) ca_ptrs.push_back(ca.get());
+  sm_ = std::make_unique<transport::SubnetManager>(*fabric_, ca_ptrs,
+                                                   /*sm_node=*/0,
+                                                   config_.seed);
+  sm_->assign_m_keys();
+
+  build_partitions(rng);
+  build_security();
+
+  // Pick attackers before wiring traffic so honest-node sources skip them.
+  build_attackers(rng);
+  build_traffic(rng);
+
+  metrics_.set_warmup(config_.warmup);
+}
+
+void Scenario::build_partitions(Rng& rng) {
+  const int n = fabric_->node_count();
+  // "We partition the IBA network into four random groups" (sec. 3.1).
+  std::vector<int> nodes(static_cast<std::size_t>(n));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  for (std::size_t i = nodes.size(); i > 1; --i) {
+    std::swap(nodes[i - 1], nodes[rng.uniform(i)]);
+  }
+
+  node_partition_.assign(static_cast<std::size_t>(n), 0);
+  const int parts = std::max(1, config_.num_partitions);
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(parts));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const int p = static_cast<int>(i) % parts;
+    members[static_cast<std::size_t>(p)].push_back(nodes[i]);
+    node_partition_[static_cast<std::size_t>(nodes[i])] = p;
+  }
+  for (int p = 0; p < parts; ++p) {
+    sm_->create_partition(pkey_of_partition(p),
+                          members[static_cast<std::size_t>(p)]);
+  }
+  sm_->configure_switch_enforcement();
+}
+
+void Scenario::build_security() {
+  if (config_.key_management == KeyManagement::kNone && !config_.auth_enabled) {
+    return;
+  }
+  const int n = fabric_->node_count();
+  for (int node = 0; node < n; ++node) {
+    auto engine = std::make_unique<security::AuthEngine>(ca(node));
+    if (config_.key_management == KeyManagement::kPartitionLevel) {
+      partition_keys_.push_back(
+          std::make_unique<security::PartitionKeyManager>(ca(node)));
+      engine->set_key_manager(partition_keys_.back().get());
+    } else if (config_.key_management == KeyManagement::kQpLevel) {
+      qp_keys_.push_back(std::make_unique<security::QpKeyManager>(
+          ca(node), config_.auth_alg));
+      engine->set_key_manager(qp_keys_.back().get());
+    }
+    if (config_.auth_enabled) {
+      engine->enable_for_partition(
+          pkey_of_partition(node_partition_[static_cast<std::size_t>(node)]));
+    }
+    engine->set_replay_protection(config_.replay_protection);
+    auth_engines_.push_back(std::move(engine));
+  }
+
+  // Partition-level: the SM pushes one secret per partition at bring-up
+  // ("key distribution overhead is virtually zero" — it happens once).
+  if (config_.key_management == KeyManagement::kPartitionLevel) {
+    for (int p = 0; p < config_.num_partitions; ++p) {
+      sm_->distribute_partition_secret(pkey_of_partition(p),
+                                       config_.auth_alg);
+    }
+    // Let the distribution MADs drain before traffic starts.
+    fabric_->simulator().run_until(50 * time_literals::kMicrosecond);
+  }
+}
+
+void Scenario::build_attackers(Rng& rng) {
+  const int n = fabric_->node_count();
+  std::set<ib::PKeyValue> legal;
+  legal.insert(ib::kDefaultPKey);
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    legal.insert(pkey_of_partition(p));
+  }
+  // Attackers are distinct random non-SM nodes.
+  std::set<int> chosen;
+  while (static_cast<int>(chosen.size()) < config_.num_attackers &&
+         static_cast<int>(chosen.size()) < n - 1) {
+    const int candidate =
+        1 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
+    chosen.insert(candidate);
+  }
+  attacker_nodes_.assign(chosen.begin(), chosen.end());
+  for (int node : attacker_nodes_) {
+    Attacker::Params params;
+    params.legal_pkeys = legal;
+    params.activity_probability = config_.attack_probability;
+    params.burst_duration = config_.attack_burst;
+    params.fixed_vl = config_.attack_vl;
+    if (config_.attack_with_valid_pkey) {
+      const int part = node_partition_[static_cast<std::size_t>(node)];
+      params.valid_pkey = pkey_of_partition(part);
+      // Target only same-partition peers: every flood packet carries a
+      // P_Key its receiver accepts, so no trap ever fires.
+      for (int other = 0; other < n; ++other) {
+        if (other != node &&
+            node_partition_[static_cast<std::size_t>(other)] == part) {
+          params.target_nodes.push_back(other);
+        }
+      }
+    }
+    attackers_.push_back(
+        std::make_unique<Attacker>(ca(node), params, rng.split()));
+  }
+}
+
+void Scenario::build_traffic(Rng& rng) {
+  const int n = fabric_->node_count();
+
+  // One workload UD QP per node (attackers included: their QP exists, they
+  // just also flood).
+  ud_qp_of_node_.assign(static_cast<std::size_t>(n), 0);
+  for (int node = 0; node < n; ++node) {
+    const int p = node_partition_[static_cast<std::size_t>(node)];
+    auto& qp = ca(node).create_qp(transport::ServiceType::kUnreliableDatagram,
+                                  pkey_of_partition(p));
+    ud_qp_of_node_[static_cast<std::size_t>(node)] = qp.qpn;
+  }
+
+  const bool qp_level = config_.key_management == KeyManagement::kQpLevel;
+  const std::set<int> attackers(attacker_nodes_.begin(),
+                                attacker_nodes_.end());
+
+  for (int node = 0; node < n; ++node) {
+    if (attackers.count(node)) continue;  // compromised nodes send no legit load
+
+    // Peers: same-partition nodes (excluding self and attackers).
+    std::vector<TrafficSource::Peer> peers;
+    for (int other = 0; other < n; ++other) {
+      if (other == node || attackers.count(other)) continue;
+      if (node_partition_[static_cast<std::size_t>(other)] !=
+          node_partition_[static_cast<std::size_t>(node)]) {
+        continue;
+      }
+      TrafficSource::Peer peer;
+      peer.node = other;
+      peer.qp = ud_qp_of_node_[static_cast<std::size_t>(other)];
+      if (!qp_level) {
+        // Baseline: Q_Keys were exchanged out of band at setup.
+        peer.qkey = ca(other).find_qp(peer.qp)->qkey;
+        peer.ready = true;
+      }
+      peers.push_back(peer);
+    }
+    if (peers.empty()) continue;
+
+    security::QpKeyManager* qkm =
+        qp_level ? qp_keys_.at(static_cast<std::size_t>(node)).get() : nullptr;
+    const SimTime overhead =
+        config_.auth_enabled ? config_.per_message_auth_overhead : 0;
+
+    if (config_.enable_realtime) {
+      sources_.push_back(std::make_unique<RealtimeSource>(
+          ca(node), ud_qp_of_node_[static_cast<std::size_t>(node)], peers,
+          rng.split(), qkm, overhead, config_.realtime_rate,
+          config_.realtime_backoff_limit));
+    }
+    if (config_.enable_best_effort) {
+      sources_.push_back(std::make_unique<BestEffortSource>(
+          ca(node), ud_qp_of_node_[static_cast<std::size_t>(node)], peers,
+          rng.split(), qkm, overhead, config_.best_effort_load));
+    }
+  }
+}
+
+ScenarioResult Scenario::run() {
+  auto& sim = fabric_->simulator();
+
+  // Stagger source start times within one packet slot to avoid lockstep.
+  Rng stagger(config_.seed ^ 0xABCDEF);
+  for (auto& src : sources_) {
+    src->start(sim.now() + static_cast<SimTime>(stagger.uniform(3'276'800)));
+  }
+  for (auto& attacker : attackers_) {
+    attacker->start(sim.now() +
+                    static_cast<SimTime>(stagger.uniform(1'000'000)));
+  }
+
+  sim.run_until(sim.now() + config_.warmup + config_.duration);
+
+  for (auto& src : sources_) src->stop();
+  for (auto& attacker : attackers_) attacker->stop();
+
+  ScenarioResult result;
+  result.realtime = metrics_.realtime();
+  result.best_effort = metrics_.best_effort();
+  for (auto& attacker : attackers_) {
+    result.attack_packets += attacker->packets_injected();
+  }
+  result.switch_filter_drops = fabric_->total_filter_drops();
+  result.switch_filter_lookups = fabric_->total_filter_lookups();
+  result.switch_table_memory = fabric_->total_filter_memory_bytes();
+  const auto sw_stats = fabric_->aggregate_switch_stats();
+  result.forwarded = sw_stats.forwarded;
+  result.rate_limited = sw_stats.dropped_rate_limited;
+  for (auto& ca_ptr : cas_) {
+    result.hca_pkey_violations += ca_ptr->counters().pkey_violations;
+    result.traps_sent += ca_ptr->counters().traps_sent;
+    result.delivered += ca_ptr->counters().delivered;
+    result.auth_rejected += ca_ptr->counters().auth_rejected;
+  }
+  result.sm_traps_received = sm_->traps_received();
+  result.sif_installs = sm_->sif_installs();
+  return result;
+}
+
+}  // namespace ibsec::workload

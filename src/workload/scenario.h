@@ -1,0 +1,138 @@
+// The standard experiment scenario: the paper's testbed in one object.
+//
+// Builds the 16-node mesh fabric, one CA per node, the Subnet Manager,
+// `num_partitions` random partitions, realtime + best-effort sources on
+// every honest node, `num_attackers` DoS attackers, and (optionally) the
+// authentication stack with partition-level or QP-level key management.
+// Figures 1, 5 and 6 are parameter sweeps over ScenarioConfig.
+#pragma once
+
+#include <memory>
+
+#include "security/auth_engine.h"
+#include "security/partition_key_manager.h"
+#include "security/qp_key_manager.h"
+#include "transport/subnet_manager.h"
+#include "workload/attacker.h"
+#include "workload/metrics.h"
+#include "workload/traffic.h"
+
+namespace ibsec::workload {
+
+enum class KeyManagement : std::uint8_t {
+  kNone = 0,            ///< no authentication keys (baseline IBA)
+  kPartitionLevel = 1,  ///< SM-distributed per-partition secrets (sec. 4.2)
+  kQpLevel = 2,         ///< per-QP-pair secrets via Q_Key exchange (sec. 4.3)
+};
+
+struct ScenarioConfig {
+  fabric::FabricConfig fabric;
+  std::uint64_t seed = 1;
+
+  int num_partitions = 4;
+
+  bool enable_realtime = true;
+  double realtime_rate = 0.10;  ///< fraction of link bandwidth per node
+  /// Realtime back-off: skip a send slot when the HCA realtime queue is at
+  /// least this deep ("does not send when the network cannot support it").
+  std::size_t realtime_backoff_limit = 32;
+  bool enable_best_effort = true;
+  double best_effort_load = 0.40;  ///< "input load" in Figures 5/6
+
+  int num_attackers = 0;
+  double attack_probability = 1.0;  ///< per-burst activity (Fig. 5 uses 0.01)
+  SimTime attack_burst = 50 * time_literals::kMicrosecond;
+  /// Fixed attack VL (see Attacker::Params::fixed_vl); unset = alternate.
+  std::optional<ib::VirtualLane> attack_vl;
+  /// Sec. 7 variant: attackers flood with their own partition's valid
+  /// P_Key, making partition filtering useless.
+  bool attack_with_valid_pkey = false;
+
+  KeyManagement key_management = KeyManagement::kNone;
+  crypto::AuthAlgorithm auth_alg = crypto::AuthAlgorithm::kUmac32;
+  bool auth_enabled = false;       ///< sign + require tags on all partitions
+  bool replay_protection = false;
+  /// Per-message MAC pipeline stage at the sender (paper: ~1 cycle).
+  SimTime per_message_auth_overhead = 3200;  // ps
+
+  /// RSA modulus for CA identities. 256 keeps 16-node bring-up fast inside
+  /// sweeps; crypto-focused tests use larger keys.
+  std::size_t rsa_bits = 256;
+
+  SimTime warmup = 100 * time_literals::kMicrosecond;
+  SimTime duration = 2 * time_literals::kMillisecond;
+};
+
+struct ScenarioResult {
+  ClassMetrics realtime;
+  ClassMetrics best_effort;
+
+  std::uint64_t attack_packets = 0;
+  std::uint64_t switch_filter_drops = 0;
+  std::uint64_t switch_filter_lookups = 0;
+  std::size_t switch_table_memory = 0;
+  std::uint64_t hca_pkey_violations = 0;
+  std::uint64_t traps_sent = 0;
+  std::uint64_t sm_traps_received = 0;
+  std::uint64_t sif_installs = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t auth_rejected = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t rate_limited = 0;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs warmup + measurement and returns the aggregated result.
+  ScenarioResult run();
+
+  // --- component access (integration tests) ----------------------------------
+  fabric::Fabric& fabric() { return *fabric_; }
+  transport::ChannelAdapter& ca(int node) {
+    return *cas_.at(static_cast<std::size_t>(node));
+  }
+  transport::SubnetManager& sm() { return *sm_; }
+  security::AuthEngine* auth_engine(int node) {
+    return auth_engines_.empty()
+               ? nullptr
+               : auth_engines_.at(static_cast<std::size_t>(node)).get();
+  }
+  const std::vector<int>& partition_of_node() const {
+    return node_partition_;
+  }
+  ib::PKeyValue pkey_of_partition(int p) const {
+    return static_cast<ib::PKeyValue>(ib::kPKeyMembershipBit | (0x100 + p));
+  }
+  const std::vector<int>& attacker_nodes() const { return attacker_nodes_; }
+  MetricsCollector& metrics() { return metrics_; }
+
+ private:
+  void build();
+  void build_partitions(Rng& rng);
+  void build_security();
+  void build_traffic(Rng& rng);
+  void build_attackers(Rng& rng);
+
+  ScenarioConfig config_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  transport::PkiDirectory pki_;
+  std::vector<std::unique_ptr<transport::ChannelAdapter>> cas_;
+  std::unique_ptr<transport::SubnetManager> sm_;
+  std::vector<std::unique_ptr<security::PartitionKeyManager>> partition_keys_;
+  std::vector<std::unique_ptr<security::QpKeyManager>> qp_keys_;
+  std::vector<std::unique_ptr<security::AuthEngine>> auth_engines_;
+  std::vector<std::unique_ptr<TrafficSource>> sources_;
+  std::vector<std::unique_ptr<Attacker>> attackers_;
+  std::vector<int> node_partition_;      // node -> partition index
+  std::vector<ib::Qpn> ud_qp_of_node_;   // node -> its workload UD QP
+  std::vector<int> attacker_nodes_;
+  MetricsCollector metrics_;
+};
+
+}  // namespace ibsec::workload

@@ -1,0 +1,63 @@
+#include "workload/trace.h"
+
+#include <fstream>
+
+#include "common/time.h"
+
+namespace ibsec::workload {
+namespace {
+
+char class_code(ib::PacketMeta::TrafficClass tclass) {
+  switch (tclass) {
+    case ib::PacketMeta::TrafficClass::kRealtime:
+      return 'R';
+    case ib::PacketMeta::TrafficClass::kManagement:
+      return 'M';
+    case ib::PacketMeta::TrafficClass::kBestEffort:
+      break;
+  }
+  return 'B';
+}
+
+}  // namespace
+
+void PacketTraceRecorder::record(const ib::Packet& pkt) {
+  if (rows_.size() >= max_rows_) {
+    ++dropped_;
+    return;
+  }
+  Row row;
+  row.delivered_us = to_microseconds(pkt.meta.delivered_at);
+  row.src_node = static_cast<int>(pkt.meta.src_node);
+  row.dst_node = static_cast<int>(pkt.meta.dst_node);
+  row.traffic_class = class_code(pkt.meta.traffic_class);
+  row.wire_bytes = pkt.wire_size();
+  row.queuing_us =
+      to_microseconds(pkt.meta.injected_at - pkt.meta.created_at);
+  row.latency_us =
+      to_microseconds(pkt.meta.delivered_at - pkt.meta.injected_at);
+  row.is_attack = pkt.meta.is_attack;
+  row.auth_alg = pkt.bth.resv8a;
+  rows_.push_back(row);
+}
+
+std::size_t PacketTraceRecorder::write_csv(std::ostream& out) const {
+  out << "delivered_us,src,dst,class,wire_bytes,queuing_us,latency_us,"
+         "is_attack,auth_alg\n";
+  for (const Row& r : rows_) {
+    out << r.delivered_us << ',' << r.src_node << ',' << r.dst_node << ','
+        << r.traffic_class << ',' << r.wire_bytes << ',' << r.queuing_us
+        << ',' << r.latency_us << ',' << (r.is_attack ? 1 : 0) << ','
+        << static_cast<int>(r.auth_alg) << '\n';
+  }
+  return rows_.size();
+}
+
+bool PacketTraceRecorder::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ibsec::workload

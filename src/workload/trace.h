@@ -1,0 +1,52 @@
+// Per-packet trace recording with CSV export.
+//
+// Attach a PacketTraceRecorder as (or inside) a CA delivery probe to capture
+// a row per delivered packet; dump the result as CSV for offline analysis /
+// plotting. Recording is bounded (drop-newest beyond the cap) so a runaway
+// simulation cannot exhaust memory.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ib/packet.h"
+
+namespace ibsec::workload {
+
+class PacketTraceRecorder {
+ public:
+  struct Row {
+    double delivered_us = 0;
+    int src_node = 0;
+    int dst_node = 0;
+    char traffic_class = 'B';  // 'R'ealtime, 'B'est-effort, 'M'anagement
+    std::size_t wire_bytes = 0;
+    double queuing_us = 0;
+    double latency_us = 0;
+    bool is_attack = false;
+    std::uint8_t auth_alg = 0;
+  };
+
+  explicit PacketTraceRecorder(std::size_t max_rows = 1 << 20)
+      : max_rows_(max_rows) {}
+
+  /// Records one delivered packet (no-op past the row cap).
+  void record(const ib::Packet& pkt);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::uint64_t dropped_rows() const { return dropped_; }
+
+  /// CSV with a header row; returns the number of data rows written.
+  std::size_t write_csv(std::ostream& out) const;
+  /// Convenience: writes to a file path; false on I/O failure.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::size_t max_rows_;
+  std::vector<Row> rows_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ibsec::workload

@@ -1,0 +1,123 @@
+// Analytic models: Table 2 enforcement-overhead formulas and Table 4 MAC
+// throughput/forgery numbers, checked against the values the paper prints.
+#include <gtest/gtest.h>
+
+#include "analytic/enforcement_model.h"
+#include "analytic/mac_model.h"
+
+namespace ibsec::analytic {
+namespace {
+
+TEST(EnforcementModel, Table2Formulas) {
+  EnforcementParams p;
+  p.nodes = 16;
+  p.switches = 16;
+  p.partitions_per_node = 4;
+  p.attack_probability = 0.01;
+  p.avg_invalid_entries = 2;
+  const auto rows = enforcement_table(p);
+  ASSERT_EQ(rows.size(), 3u);
+
+  // DPT: n*p per switch, n*p*s total, f(n*p) lookups.
+  EXPECT_EQ(rows[0].scheme, "DPT");
+  EXPECT_DOUBLE_EQ(rows[0].memory_per_switch_entries, 64.0);
+  EXPECT_DOUBLE_EQ(rows[0].memory_all_switches_entries, 1024.0);
+  EXPECT_DOUBLE_EQ(rows[0].lookups_per_packet, 64.0);
+
+  // IF: p per switch, p*n total, f(p) lookups.
+  EXPECT_EQ(rows[1].scheme, "IF");
+  EXPECT_DOUBLE_EQ(rows[1].memory_per_switch_entries, 4.0);
+  EXPECT_DOUBLE_EQ(rows[1].memory_all_switches_entries, 64.0);
+  EXPECT_DOUBLE_EQ(rows[1].lookups_per_packet, 4.0);
+
+  // SIF: p + Pr*min(Avg,p); lookups Pr*f(min(Avg,p)).
+  EXPECT_EQ(rows[2].scheme, "SIF");
+  EXPECT_DOUBLE_EQ(rows[2].memory_per_switch_entries, 4.0 + 0.01 * 2);
+  EXPECT_DOUBLE_EQ(rows[2].memory_all_switches_entries,
+                   64.0 + 0.01 * 2 * 16);
+  EXPECT_DOUBLE_EQ(rows[2].lookups_per_packet, 0.01 * 2);
+}
+
+TEST(EnforcementModel, OrderingAlwaysDptWorst) {
+  for (double pr : {0.001, 0.01, 0.1, 1.0}) {
+    EnforcementParams p;
+    p.attack_probability = pr;
+    const auto rows = enforcement_table(p);
+    EXPECT_GT(rows[0].memory_all_switches_entries,
+              rows[1].memory_all_switches_entries);
+    EXPECT_GT(rows[0].lookups_per_packet, rows[1].lookups_per_packet);
+    // SIF's steady-state lookup cost never exceeds IF's.
+    EXPECT_LE(rows[2].lookups_per_packet, rows[1].lookups_per_packet);
+  }
+}
+
+TEST(EnforcementModel, AvgInvalidCappedByPartitionTable) {
+  EnforcementParams p;
+  p.partitions_per_node = 4;
+  p.avg_invalid_entries = 1000;  // attacker used many random P_Keys
+  p.attack_probability = 1.0;
+  const auto rows = enforcement_table(p);
+  // min(Avg, p) = p: the invalid table is abandoned past the partition
+  // table size (paper sec. 3.3).
+  EXPECT_DOUBLE_EQ(rows[2].memory_per_switch_entries, 4.0 + 4.0);
+}
+
+TEST(EnforcementModel, CactiStyleUnitLookup) {
+  EnforcementParams p;
+  p.lookup_cost = [](double) { return 1.0; };
+  p.attack_probability = 0.01;
+  const auto rows = enforcement_table(p);
+  EXPECT_DOUBLE_EQ(rows[0].lookups_per_packet, 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].lookups_per_packet, 1.0);
+  EXPECT_DOUBLE_EQ(rows[2].lookups_per_packet, 0.01);
+}
+
+TEST(MacModel, Table4NumbersAt350Mhz) {
+  const auto rows = paper_table4(350.0);
+  ASSERT_EQ(rows.size(), 4u);
+
+  EXPECT_EQ(rows[0].algorithm, "CRC");
+  EXPECT_NEAR(rows[0].gbits_per_second, 11.2, 0.01);
+  EXPECT_DOUBLE_EQ(rows[0].forgery_log2, 0.0);
+
+  EXPECT_EQ(rows[1].algorithm, "HMAC-SHA1");
+  EXPECT_NEAR(rows[1].gbits_per_second, 0.22, 0.005);
+
+  EXPECT_EQ(rows[2].algorithm, "HMAC-MD5");
+  EXPECT_NEAR(rows[2].gbits_per_second, 0.53, 0.005);
+
+  EXPECT_EQ(rows[3].algorithm, "UMAC-2/4");
+  EXPECT_NEAR(rows[3].gbits_per_second, 4.00, 0.01);
+  EXPECT_DOUBLE_EQ(rows[3].forgery_log2, -30.0);
+}
+
+TEST(MacModel, ThroughputProportionalToClock) {
+  EXPECT_DOUBLE_EQ(mac_throughput_gbps(0.7, 700e6),
+                   2 * mac_throughput_gbps(0.7, 350e6));
+}
+
+TEST(MacModel, UmacKeepsUpWithIbaAt200Mhz) {
+  // Paper sec. 6: "if we use 200MHz, UMAC can authenticate messages at the
+  // similar speed with IBA" (2.5 Gb/s 1x link).
+  const double required = required_clock_mhz(0.7, 2.5);
+  EXPECT_NEAR(required, 218.75, 0.01);  // ≈200 MHz, as claimed
+  // And HMACs cannot: they need multi-GHz clocks.
+  EXPECT_GT(required_clock_mhz(12.6, 2.5), 3000.0);
+  EXPECT_GT(required_clock_mhz(5.3, 2.5), 1500.0);
+}
+
+TEST(MacModel, RankingMatchesPaper) {
+  const auto rows = paper_table4();
+  // CRC > UMAC > MD5 > SHA1 in throughput.
+  EXPECT_GT(rows[0].gbits_per_second, rows[3].gbits_per_second);
+  EXPECT_GT(rows[3].gbits_per_second, rows[2].gbits_per_second);
+  EXPECT_GT(rows[2].gbits_per_second, rows[1].gbits_per_second);
+  // Security: CRC is forgeable, the MACs are not.
+  EXPECT_EQ(rows[0].forgery_log2, 0.0);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i].forgery_log2, -30.0);
+  }
+}
+
+}  // namespace
+}  // namespace ibsec::analytic

@@ -1,0 +1,370 @@
+// Fabric-level behaviour: exact store-and-forward timing, credit-based flow
+// control (lossless back-pressure), VL priority arbitration, XY routing,
+// partition-filter modes, and SIF arm/disarm dynamics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "fabric/topology.h"
+
+namespace ibsec::fabric {
+namespace {
+
+using time_literals::kMicrosecond;
+using time_literals::kMillisecond;
+
+ib::Packet make_packet(Fabric& fabric, int src, int dst,
+                       ib::VirtualLane vl = kBestEffortVl,
+                       std::size_t payload = 1024,
+                       ib::PKeyValue pkey = ib::kDefaultPKey) {
+  ib::Packet pkt;
+  pkt.lrh.vl = vl;
+  pkt.lrh.sl = vl;
+  pkt.lrh.slid = fabric.lid_of_node(src);
+  pkt.lrh.dlid = fabric.lid_of_node(dst);
+  pkt.bth.opcode = ib::OpCode::kUdSendOnly;
+  pkt.bth.pkey = pkey;
+  pkt.bth.dest_qp = 5;
+  pkt.deth = ib::Deth{1, 2};
+  pkt.payload.assign(payload, 0x3C);
+  pkt.meta.src_node = static_cast<std::uint32_t>(src);
+  pkt.meta.dst_node = static_cast<std::uint32_t>(dst);
+  pkt.finalize();
+  return pkt;
+}
+
+FabricConfig small_config(int w, int h) {
+  FabricConfig cfg;
+  cfg.mesh_width = w;
+  cfg.mesh_height = h;
+  return cfg;
+}
+
+TEST(Fabric, BuildsPaperTopology) {
+  Fabric fabric(small_config(4, 4));
+  EXPECT_EQ(fabric.node_count(), 16);
+  EXPECT_EQ(fabric.switch_at(0).num_ports(), 5);  // Table 1: 5-port switches
+  EXPECT_EQ(fabric.lid_of_node(0), 1);
+  EXPECT_EQ(fabric.node_of_lid(16), 15);
+}
+
+TEST(Fabric, ExactStoreAndForwardLatency) {
+  // node0 -> node1 in a 2x1 mesh: HCA0->SW0, SW0->SW1, SW1->HCA1 = 3 link
+  // traversals + 2 switch pipeline crossings. All timing is exact in ps.
+  Fabric fabric(small_config(2, 1));
+  const auto& cfg = fabric.config();
+
+  SimTime delivered_at = -1;
+  fabric.hca(1).set_receive_callback(
+      [&](ib::Packet&& pkt) { delivered_at = pkt.meta.delivered_at; });
+
+  ib::Packet pkt = make_packet(fabric, 0, 1);
+  const SimTime wire_time = serialization_time_ps(
+      static_cast<std::int64_t>(pkt.wire_size()), cfg.link.bandwidth_bps);
+  fabric.hca(0).send(std::move(pkt));
+  fabric.simulator().run();
+
+  const SimTime expected =
+      3 * (wire_time + cfg.link.propagation) +
+      2 * cfg.switch_cycle() * cfg.switch_pipeline_cycles;
+  EXPECT_EQ(delivered_at, expected);
+}
+
+TEST(Fabric, XyRoutingReachesEveryPair) {
+  Fabric fabric(small_config(4, 4));
+  int received = 0;
+  for (int node = 0; node < 16; ++node) {
+    fabric.hca(node).set_receive_callback(
+        [&received](ib::Packet&&) { ++received; });
+  }
+  int sent = 0;
+  for (int src = 0; src < 16; ++src) {
+    for (int dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      fabric.hca(src).send(make_packet(fabric, src, dst, kBestEffortVl, 64));
+      ++sent;
+    }
+  }
+  fabric.simulator().run();
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(fabric.aggregate_switch_stats().dropped_no_route, 0u);
+}
+
+TEST(Fabric, HopCountMatchesManhattanDistance) {
+  // Delivery time grows with Manhattan distance under XY routing.
+  Fabric fabric(small_config(4, 4));
+  std::map<int, SimTime> delivery;
+  for (int dst : {1, 3, 15}) {  // distances 1, 3, 6 from node 0
+    fabric.hca(dst).set_receive_callback([&delivery, dst](ib::Packet&& pkt) {
+      delivery[dst] = pkt.meta.delivered_at - pkt.meta.injected_at;
+    });
+    fabric.hca(0).send(make_packet(fabric, 0, dst));
+  }
+  fabric.simulator().run();
+  ASSERT_EQ(delivery.size(), 3u);
+  EXPECT_LT(delivery[1], delivery[3]);
+  EXPECT_LT(delivery[3], delivery[15]);
+}
+
+TEST(Fabric, CreditsThrottleWithoutLoss) {
+  // Blast 50 packets at once: the lossless fabric delivers every one, with
+  // the source HCA queue draining at line rate.
+  Fabric fabric(small_config(2, 1));
+  int received = 0;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  for (int i = 0; i < 50; ++i) {
+    fabric.hca(0).send(make_packet(fabric, 0, 1));
+  }
+  EXPECT_GT(fabric.hca(0).send_queue_depth(kBestEffortVl), 0u);
+  fabric.simulator().run();
+  EXPECT_EQ(received, 50);
+}
+
+TEST(Fabric, QueuingTimeGrowsWithBacklog) {
+  Fabric fabric(small_config(2, 1));
+  std::vector<SimTime> queuing;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&& pkt) {
+    queuing.push_back(pkt.meta.injected_at - pkt.meta.created_at);
+  });
+  for (int i = 0; i < 20; ++i) {
+    fabric.hca(0).send(make_packet(fabric, 0, 1));
+  }
+  fabric.simulator().run();
+  ASSERT_EQ(queuing.size(), 20u);
+  // First packet goes immediately; the 20th waited ~19 serialization slots.
+  EXPECT_EQ(queuing.front(), 0);
+  EXPECT_GT(queuing.back(), 19 * 3'000'000);  // > 19 * 3 us
+  // Monotone non-decreasing (FIFO within one VL).
+  for (std::size_t i = 1; i < queuing.size(); ++i) {
+    EXPECT_GE(queuing[i], queuing[i - 1]);
+  }
+}
+
+TEST(Fabric, RealtimeVlHasPriorityOverBestEffort) {
+  // Queue a burst of best-effort then one realtime packet; the realtime
+  // packet must overtake all still-queued best-effort packets.
+  Fabric fabric(small_config(2, 1));
+  std::vector<ib::VirtualLane> arrival_order;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&& pkt) {
+    arrival_order.push_back(pkt.lrh.vl);
+  });
+  for (int i = 0; i < 10; ++i) {
+    fabric.hca(0).send(make_packet(fabric, 0, 1, kBestEffortVl));
+  }
+  fabric.hca(0).send(make_packet(fabric, 0, 1, kRealtimeVl));
+  fabric.simulator().run();
+  ASSERT_EQ(arrival_order.size(), 11u);
+  // The realtime packet arrives well before the best-effort tail. The first
+  // BE packet may already be serializing, but the RT one must be next-ish.
+  const auto rt_pos = std::find(arrival_order.begin(), arrival_order.end(),
+                                kRealtimeVl) -
+                      arrival_order.begin();
+  EXPECT_LE(rt_pos, 2);
+}
+
+TEST(Fabric, ManagementVlBeatsEverything) {
+  Fabric fabric(small_config(2, 1));
+  std::vector<ib::VirtualLane> arrival_order;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&& pkt) {
+    arrival_order.push_back(pkt.lrh.vl);
+  });
+  for (int i = 0; i < 5; ++i) {
+    fabric.hca(0).send(make_packet(fabric, 0, 1, kRealtimeVl));
+  }
+  fabric.hca(0).send(make_packet(fabric, 0, 1, ib::kManagementVl, 128));
+  fabric.simulator().run();
+  const auto mgmt_pos = std::find(arrival_order.begin(), arrival_order.end(),
+                                  ib::kManagementVl) -
+                        arrival_order.begin();
+  EXPECT_LE(mgmt_pos, 2);
+}
+
+TEST(Fabric, LinkUtilizationTracksTransmissionTime) {
+  Fabric fabric(small_config(2, 1));
+  int received = 0;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  for (int i = 0; i < 10; ++i) {
+    fabric.hca(0).send(make_packet(fabric, 0, 1));
+  }
+  fabric.simulator().run();
+  ASSERT_EQ(received, 10);
+  // The source HCA's link was busy back-to-back from t=0 until the last
+  // serialization finished, then the run drained downstream hops — so its
+  // utilization is high but below 1.
+  const double util = fabric.hca(0).out().utilization(
+      fabric.simulator().now());
+  EXPECT_GT(util, 0.5);
+  EXPECT_LE(util, 1.0);
+  EXPECT_EQ(fabric.hca(0).out().packets_sent(), 10u);
+  EXPECT_EQ(fabric.hca(0).out().bytes_sent(), 10 * 1058u);
+}
+
+TEST(Fabric, VcrcCorruptionDroppedAtFirstSwitch) {
+  Fabric fabric(small_config(2, 1));
+  int received = 0;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  ib::Packet pkt = make_packet(fabric, 0, 1);
+  pkt.payload[0] ^= 0xFF;  // corrupt after finalize: VCRC now wrong
+  fabric.hca(0).send(std::move(pkt));
+  fabric.simulator().run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(fabric.aggregate_switch_stats().dropped_vcrc, 1u);
+}
+
+// --- partition filtering at switches ----------------------------------------
+
+struct FilterFixture {
+  explicit FilterFixture(FilterMode mode, int w = 2, int h = 1)
+      : fabric([&] {
+          FabricConfig cfg = small_config(w, h);
+          cfg.filter_mode = mode;
+          return cfg;
+        }()) {
+    // Node 0 and 1 are members of partition 0x8100 only.
+    for (int s = 0; s < fabric.node_count(); ++s) {
+      ib::PartitionTable table;
+      table.add(ib::kDefaultPKey);
+      table.add(0x8100);
+      Switch& sw = fabric.switch_at(s);
+      for (int p = 0; p < sw.num_ports(); ++p) {
+        sw.filter().set_port_partition_table(p, table);
+      }
+    }
+  }
+  Fabric fabric;
+};
+
+TEST(PartitionFilter, NoneModePassesInvalidPkeys) {
+  FilterFixture f(FilterMode::kNone);
+  int received = 0;
+  f.fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x9999));
+  f.fabric.simulator().run();
+  EXPECT_EQ(received, 1);  // end-node enforcement is the CA's job, not ours
+}
+
+TEST(PartitionFilter, DptBlocksInvalidPkeyAtEveryHop) {
+  FilterFixture f(FilterMode::kDpt);
+  int received = 0;
+  f.fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x9999));
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x8100));
+  f.fabric.simulator().run();
+  EXPECT_EQ(received, 1);  // only the legal P_Key survives
+  EXPECT_EQ(f.fabric.total_filter_drops(), 1u);
+}
+
+TEST(PartitionFilter, IfOnlyChargesIngressPorts) {
+  FilterFixture f(FilterMode::kIf, 4, 1);  // 3 switch hops for 0 -> 3
+  int received = 0;
+  f.fabric.hca(3).set_receive_callback([&](ib::Packet&&) { ++received; });
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 3, kBestEffortVl, 64, 0x8100));
+  f.fabric.simulator().run();
+  EXPECT_EQ(received, 1);
+  // One lookup at the ingress switch, none at transit switches.
+  EXPECT_EQ(f.fabric.total_filter_lookups(), 1u);
+}
+
+TEST(PartitionFilter, DptChargesEveryHop) {
+  FilterFixture f(FilterMode::kDpt, 4, 1);
+  int received = 0;
+  f.fabric.hca(3).set_receive_callback([&](ib::Packet&&) { ++received; });
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 3, kBestEffortVl, 64, 0x8100));
+  f.fabric.simulator().run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.fabric.total_filter_lookups(), 4u);  // every switch it crossed
+}
+
+TEST(PartitionFilter, ManagementVlBypassesFiltering) {
+  FilterFixture f(FilterMode::kDpt);
+  int received = 0;
+  f.fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, ib::kManagementVl, 64, 0x9999));
+  f.fabric.simulator().run();
+  EXPECT_EQ(received, 1);  // SMPs must get through regardless of P_Key
+}
+
+TEST(Sif, InactiveUntilArmedThenDropsAndExpires) {
+  FilterFixture f(FilterMode::kSif);
+  auto& sim = f.fabric.simulator();
+  auto& sw = f.fabric.switch_at(0);
+  int received = 0;
+  f.fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+
+  // Unarmed: the invalid packet crosses the fabric.
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x9999));
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_FALSE(sw.filter().sif_active(0));
+
+  // SM installs the offending P_Key at the offender's ingress port.
+  sw.filter().install_invalid_pkey(0, 0x9999);
+  EXPECT_TRUE(sw.filter().sif_active(0));
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x9999));
+  sim.run_until(sim.now() + 100 * kMicrosecond);
+  EXPECT_EQ(received, 1);  // dropped at ingress now
+  EXPECT_EQ(sw.filter().violation_counter(0), 1u);
+
+  // Attack stops: the violation counter stalls and the filter disarms after
+  // the idle timeout.
+  sim.run_until(sim.now() + 2 * f.fabric.config().sif_idle_timeout +
+                kMillisecond);
+  EXPECT_FALSE(sw.filter().sif_active(0));
+  EXPECT_EQ(sw.filter().invalid_table_size(0), 0u);
+
+  // Disarmed again: invalid P_Keys pass (until the next trap).
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x9999));
+  sim.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Sif, FallsBackToValidityCheckWhenInvalidTableOutgrowsPartitionTable) {
+  FilterFixture f(FilterMode::kSif);
+  auto& sw = f.fabric.switch_at(0);
+  // Partition table at the ingress port has 2 entries; install 3 invalid
+  // keys so the invalid table outgrows it.
+  for (ib::PKeyValue bad : {0x9991, 0x9992, 0x9993}) {
+    sw.filter().install_invalid_pkey(0, static_cast<ib::PKeyValue>(bad));
+  }
+  int received = 0;
+  f.fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  // A *fourth* invalid key, never trapped, is now dropped anyway (validity
+  // check against the partition table), while legal traffic passes.
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x9994));
+  f.fabric.hca(0).send(
+      make_packet(f.fabric, 0, 1, kBestEffortVl, 64, 0x8100));
+  f.fabric.simulator().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Sif, RearmsWhileViolationsContinue) {
+  FilterFixture f(FilterMode::kSif);
+  auto& sim = f.fabric.simulator();
+  auto& sw = f.fabric.switch_at(0);
+  sw.filter().install_invalid_pkey(0, 0x9999);
+  // Keep violating past the idle timeout: the filter must stay armed.
+  const SimTime timeout = f.fabric.config().sif_idle_timeout;
+  for (int i = 0; i < 6; ++i) {
+    sim.after(i * timeout / 2,
+              [&f] {
+                f.fabric.hca(0).send(make_packet(f.fabric, 0, 1,
+                                                 kBestEffortVl, 64, 0x9999));
+              });
+  }
+  sim.run_until(sim.now() + 2 * timeout);
+  EXPECT_TRUE(sw.filter().sif_active(0));
+}
+
+}  // namespace
+}  // namespace ibsec::fabric

@@ -1,0 +1,128 @@
+// Failure injection: random wire corruption is caught by the VCRC at every
+// hop (including the final switch->HCA link), no corrupted payload ever
+// reaches an application, and the fabric's loss accounting balances.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/scenario.h"
+
+namespace ibsec::fabric {
+namespace {
+
+using namespace ibsec::time_literals;
+
+TEST(FaultInjection, PerfectLinksByDefault) {
+  FabricConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 1;
+  Fabric fabric(cfg);
+  int received = 0;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&&) { ++received; });
+  for (int i = 0; i < 50; ++i) {
+    ib::Packet pkt;
+    pkt.lrh.vl = kBestEffortVl;
+    pkt.lrh.slid = fabric.lid_of_node(0);
+    pkt.lrh.dlid = fabric.lid_of_node(1);
+    pkt.bth.opcode = ib::OpCode::kUdSendOnly;
+    pkt.bth.pkey = ib::kDefaultPKey;
+    pkt.deth = ib::Deth{1, 2};
+    pkt.payload.assign(512, 0x44);
+    pkt.finalize();
+    fabric.hca(0).send(std::move(pkt));
+  }
+  fabric.simulator().run();
+  EXPECT_EQ(received, 50);
+  EXPECT_EQ(fabric.aggregate_switch_stats().dropped_vcrc, 0u);
+}
+
+TEST(FaultInjection, CorruptionCaughtAndAccounted) {
+  FabricConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 1;
+  cfg.link.corruption_rate = 0.2;
+  Fabric fabric(cfg);
+
+  // The raw fabric HCA sits *below* the VCRC check (that is the CA's job,
+  // covered by EndNodeCatchesLastHopCorruption), so last-hop corruption
+  // reaches this callback — but must always be *detectable* via the VCRC.
+  int received_valid = 0, received_corrupt = 0;
+  fabric.hca(1).set_receive_callback([&](ib::Packet&& pkt) {
+    if (pkt.vcrc_valid()) {
+      ++received_valid;
+      for (std::uint8_t b : pkt.payload) EXPECT_EQ(b, 0x44);
+    } else {
+      ++received_corrupt;
+    }
+  });
+  constexpr int kSent = 300;
+  for (int i = 0; i < kSent; ++i) {
+    ib::Packet pkt;
+    pkt.lrh.vl = kBestEffortVl;
+    pkt.lrh.slid = fabric.lid_of_node(0);
+    pkt.lrh.dlid = fabric.lid_of_node(1);
+    pkt.bth.opcode = ib::OpCode::kUdSendOnly;
+    pkt.bth.pkey = ib::kDefaultPKey;
+    pkt.deth = ib::Deth{1, 2};
+    pkt.payload.assign(512, 0x44);
+    pkt.finalize();
+    fabric.hca(0).send(std::move(pkt));
+  }
+  fabric.simulator().run();
+
+  const auto stats = fabric.aggregate_switch_stats();
+  // Three lossy hops at 20% each: roughly half the packets arrive clean.
+  EXPECT_LT(received_valid, kSent * 3 / 4);
+  EXPECT_GT(received_valid, kSent / 4);
+  EXPECT_GT(stats.dropped_vcrc, 0u);
+  EXPECT_GT(received_corrupt, 0);  // last-hop corruption is the CA's to drop
+  // Conservation: every packet was delivered clean, dropped at a switch, or
+  // arrived corrupted on the last hop.
+  EXPECT_EQ(static_cast<std::uint64_t>(received_valid + received_corrupt) +
+                stats.dropped_vcrc,
+            static_cast<std::uint64_t>(kSent));
+  // And the injectors' own counters agree with what was caught.
+  std::uint64_t corrupted_total = fabric.hca(0).out().packets_corrupted();
+  for (int s = 0; s < fabric.node_count(); ++s) {
+    for (int p = 0; p < fabric.switch_at(s).num_ports(); ++p) {
+      corrupted_total += fabric.switch_at(s).out(p).packets_corrupted();
+    }
+  }
+  EXPECT_EQ(corrupted_total,
+            stats.dropped_vcrc + static_cast<std::uint64_t>(received_corrupt));
+}
+
+TEST(FaultInjection, EndNodeCatchesLastHopCorruption) {
+  // Force corruption on the switch->HCA link only is impractical to isolate
+  // via config (all links share LinkParams), so run a transport-level
+  // scenario and assert the CA's vcrc_errors counter engages.
+  workload::ScenarioConfig cfg;
+  cfg.seed = 17;
+  cfg.duration = 1 * kMillisecond;
+  cfg.enable_realtime = false;
+  cfg.best_effort_load = 0.4;
+  cfg.fabric.link.corruption_rate = 0.05;
+  workload::Scenario scenario(cfg);
+  const auto r = scenario.run();
+  std::uint64_t vcrc_errors = 0;
+  for (int node = 0; node < scenario.fabric().node_count(); ++node) {
+    vcrc_errors += scenario.ca(node).counters().vcrc_errors;
+  }
+  EXPECT_GT(vcrc_errors, 0u);   // last-hop corruption reached the CA check
+  EXPECT_GT(r.delivered, 100u); // plenty of clean traffic still flowed
+}
+
+TEST(FaultInjection, DeterministicGivenSeed) {
+  auto run_once = [] {
+    workload::ScenarioConfig cfg;
+    cfg.seed = 18;
+    cfg.duration = 500 * kMicrosecond;
+    cfg.enable_realtime = false;
+    cfg.fabric.link.corruption_rate = 0.05;
+    workload::Scenario scenario(cfg);
+    return scenario.run().delivered;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ibsec::fabric

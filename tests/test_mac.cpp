@@ -1,0 +1,121 @@
+// The MacFunction abstraction: factory behaviour, algorithm identity,
+// cross-algorithm disagreement, nonce handling, and the CRC baseline's
+// deliberate lack of security.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/crc32.h"
+#include "crypto/mac.h"
+
+namespace ibsec::crypto {
+namespace {
+
+std::vector<std::uint8_t> key16() { return ascii_bytes("0123456789abcdef"); }
+
+class MacAlgorithmSweep : public ::testing::TestWithParam<AuthAlgorithm> {};
+
+TEST_P(MacAlgorithmSweep, TagIsDeterministicAndVerifies) {
+  const auto mac = make_mac(GetParam(), key16());
+  const auto msg = ascii_bytes("the packet invariant fields");
+  const std::uint32_t t = mac->tag32(msg, 77);
+  EXPECT_EQ(t, mac->tag32(msg, 77));
+  EXPECT_TRUE(mac->verify(msg, 77, t));
+  EXPECT_EQ(mac->algorithm(), GetParam());
+}
+
+TEST_P(MacAlgorithmSweep, MessageSensitivity) {
+  const auto mac = make_mac(GetParam(), key16());
+  const std::uint32_t a = mac->tag32(ascii_bytes("message A"), 1);
+  const std::uint32_t b = mac->tag32(ascii_bytes("message B"), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST_P(MacAlgorithmSweep, KeyedAlgorithmsUseNonce) {
+  const auto mac = make_mac(GetParam(), key16());
+  const auto msg = ascii_bytes("nonce check");
+  const std::uint32_t t1 = mac->tag32(msg, 1);
+  const std::uint32_t t2 = mac->tag32(msg, 2);
+  if (GetParam() == AuthAlgorithm::kNone) {
+    EXPECT_EQ(t1, t2);  // plain CRC ignores the nonce — that's the point
+  } else {
+    EXPECT_NE(t1, t2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, MacAlgorithmSweep,
+                         ::testing::Values(AuthAlgorithm::kNone,
+                                           AuthAlgorithm::kUmac32,
+                                           AuthAlgorithm::kHmacMd5,
+                                           AuthAlgorithm::kHmacSha1,
+                                           AuthAlgorithm::kPmac,
+                                           AuthAlgorithm::kHmacSha256));
+
+TEST(MacFactory, CrcBaselineMatchesPlainCrc32) {
+  const auto mac = make_mac(AuthAlgorithm::kNone, {});
+  const auto msg = ascii_bytes("123456789");
+  EXPECT_EQ(mac->tag32(msg, 0), 0xCBF43926u);
+  EXPECT_EQ(mac->tag32(msg, 0), crc32(msg));
+}
+
+TEST(MacFactory, CrcIsForgeableWithoutKey) {
+  // The attack the paper describes: anyone can recompute a plain ICRC after
+  // modifying the packet. A keyed MAC cannot be recomputed without the key.
+  const auto msg = ascii_bytes("tampered payload");
+  const auto crc_mac = make_mac(AuthAlgorithm::kNone, {});
+  const auto attacker_mac = make_mac(AuthAlgorithm::kNone, {});
+  EXPECT_EQ(attacker_mac->tag32(msg, 0), crc_mac->tag32(msg, 0));
+
+  const auto umac_victim = make_mac(AuthAlgorithm::kUmac32, key16());
+  const auto umac_attacker =
+      make_mac(AuthAlgorithm::kUmac32, ascii_bytes("attacker-guess!!"));
+  EXPECT_NE(umac_attacker->tag32(msg, 0), umac_victim->tag32(msg, 0));
+}
+
+TEST(MacFactory, AlgorithmsDisagree) {
+  const auto msg = ascii_bytes("one message, many tags");
+  std::set<std::uint32_t> tags;
+  for (auto alg : {AuthAlgorithm::kNone, AuthAlgorithm::kUmac32,
+                   AuthAlgorithm::kHmacMd5, AuthAlgorithm::kHmacSha1,
+                   AuthAlgorithm::kPmac, AuthAlgorithm::kHmacSha256}) {
+    tags.insert(make_mac(alg, key16())->tag32(msg, 5));
+  }
+  EXPECT_EQ(tags.size(), 6u);
+}
+
+TEST(MacFactory, RejectsBadKeyLength) {
+  EXPECT_THROW((void)make_mac(AuthAlgorithm::kUmac32, ascii_bytes("short")),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_mac(AuthAlgorithm::kHmacMd5, ascii_bytes("short")),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_mac(AuthAlgorithm::kHmacSha1, ascii_bytes("short")),
+               std::invalid_argument);
+}
+
+TEST(MacFactory, NoneAcceptsEmptyKey) {
+  EXPECT_NO_THROW((void)make_mac(AuthAlgorithm::kNone, {}));
+}
+
+TEST(MacNames, ToStringIsStable) {
+  EXPECT_EQ(to_string(AuthAlgorithm::kNone), "icrc-crc32");
+  EXPECT_EQ(to_string(AuthAlgorithm::kUmac32), "umac-32");
+  EXPECT_EQ(to_string(AuthAlgorithm::kHmacMd5), "hmac-md5-32");
+  EXPECT_EQ(to_string(AuthAlgorithm::kHmacSha1), "hmac-sha1-32");
+  EXPECT_EQ(to_string(AuthAlgorithm::kPmac), "pmac-aes-32");
+  EXPECT_EQ(to_string(AuthAlgorithm::kHmacSha256), "hmac-sha256-32");
+}
+
+TEST(MacReplaySemantics, SamePayloadNewPsnGetsNewTag) {
+  // Replay defence precondition (paper sec. 7): tags must be bound to the
+  // PSN so a replayed payload cannot reuse its old tag after the receiver
+  // advances its window.
+  for (auto alg : {AuthAlgorithm::kUmac32, AuthAlgorithm::kHmacMd5,
+                   AuthAlgorithm::kHmacSha1, AuthAlgorithm::kPmac}) {
+    const auto mac = make_mac(alg, key16());
+    const auto payload = ascii_bytes("replayed RDMA write");
+    EXPECT_NE(mac->tag32(payload, 100), mac->tag32(payload, 101))
+        << to_string(alg);
+  }
+}
+
+}  // namespace
+}  // namespace ibsec::crypto

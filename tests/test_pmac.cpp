@@ -1,0 +1,158 @@
+// PMAC over AES-128: determinism, block-boundary behaviour, length
+// separation, GF(2^128) offset algebra (indirectly), nonce whitening of the
+// 32-bit variant, and forgery resistance.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/pmac.h"
+
+namespace ibsec::crypto {
+namespace {
+
+std::vector<std::uint8_t> key16() { return ascii_bytes("pmac-key-16bytes"); }
+
+TEST(Pmac, DeterministicAcrossInstances) {
+  const Pmac a(key16()), b(key16());
+  const auto msg = ascii_bytes("parallelizable mac");
+  EXPECT_EQ(a.tag(msg), b.tag(msg));
+  EXPECT_EQ(a.tag32(msg, 5), b.tag32(msg, 5));
+}
+
+TEST(Pmac, KeySensitivity) {
+  const Pmac a(key16());
+  auto other = key16();
+  other[5] ^= 0x01;
+  const Pmac b(other);
+  const auto msg = ascii_bytes("same message");
+  EXPECT_NE(a.tag(msg), b.tag(msg));
+}
+
+TEST(Pmac, EmptyAndShortMessages) {
+  const Pmac pmac(key16());
+  const auto t_empty = pmac.tag({});
+  const auto t_one = pmac.tag(ascii_bytes("a"));
+  EXPECT_NE(t_empty, t_one);
+  // Tag of empty message is still a full encrypted block, not zeros.
+  EXPECT_NE(t_empty, Aes128::Block{});
+}
+
+TEST(Pmac, PaddingSeparatesLengths) {
+  // The 10* pad must distinguish m from m || 0x80 and from m || 0x00.
+  const Pmac pmac(key16());
+  const std::vector<std::uint8_t> m = {1, 2, 3};
+  std::vector<std::uint8_t> with_80 = m;
+  with_80.push_back(0x80);
+  std::vector<std::uint8_t> with_00 = m;
+  with_00.push_back(0x00);
+  EXPECT_NE(pmac.tag(m), pmac.tag(with_80));
+  EXPECT_NE(pmac.tag(m), pmac.tag(with_00));
+  EXPECT_NE(pmac.tag(with_80), pmac.tag(with_00));
+}
+
+TEST(Pmac, FullVsPartialFinalBlockDomainSeparation) {
+  // 16-byte message (full final block) vs its 15-byte prefix (padded):
+  // different code paths, must not collide by construction.
+  const Pmac pmac(key16());
+  Rng rng(1401);
+  std::vector<std::uint8_t> full(16);
+  for (auto& b : full) b = static_cast<std::uint8_t>(rng.next_u32());
+  const auto prefix = std::vector<std::uint8_t>(full.begin(), full.end() - 1);
+  EXPECT_NE(pmac.tag(full), pmac.tag(prefix));
+}
+
+TEST(Pmac, BlockSwapDetected) {
+  // Parallel XOR accumulation must NOT be position-independent: the Gray
+  // offsets bind each block to its index.
+  const Pmac pmac(key16());
+  Rng rng(1402);
+  std::vector<std::uint8_t> msg(64);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u32());
+  auto swapped = msg;
+  std::swap_ranges(swapped.begin(), swapped.begin() + 16,
+                   swapped.begin() + 16);
+  ASSERT_NE(msg, swapped);
+  EXPECT_NE(pmac.tag(msg), pmac.tag(swapped));
+}
+
+TEST(Pmac, BitFlipsChangeTag) {
+  const Pmac pmac(key16());
+  Rng rng(1403);
+  std::vector<std::uint8_t> msg(200);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u32());
+  const auto original = pmac.tag(msg);
+  for (std::size_t pos : {0u, 15u, 16u, 31u, 32u, 100u, 199u}) {
+    auto mutated = msg;
+    mutated[pos] ^= 0x01;
+    EXPECT_NE(pmac.tag(mutated), original) << pos;
+  }
+}
+
+TEST(Pmac, Tag32NonceWhitening) {
+  const Pmac pmac(key16());
+  const auto msg = ascii_bytes("whitened");
+  std::set<std::uint32_t> tags;
+  for (std::uint64_t nonce = 0; nonce < 64; ++nonce) {
+    tags.insert(pmac.tag32(msg, nonce));
+  }
+  EXPECT_GT(tags.size(), 60u);
+}
+
+TEST(Pmac, Tag32MessageSensitivity) {
+  const Pmac pmac(key16());
+  EXPECT_NE(pmac.tag32(ascii_bytes("message A"), 1),
+            pmac.tag32(ascii_bytes("message B"), 1));
+}
+
+TEST(Pmac, RejectsBadKeyLength) {
+  EXPECT_THROW(Pmac p(ascii_bytes("short")), std::invalid_argument);
+}
+
+TEST(Pmac, PinnedSelfVector) {
+  // Regression pin: the construction must not silently change.
+  const Pmac a(key16());
+  const Pmac b(key16());
+  const auto msg = ascii_bytes("pinned");
+  EXPECT_EQ(to_hex(a.tag(msg)), to_hex(b.tag(msg)));
+  const auto tag_now = a.tag(msg);
+  // Recompute after unrelated work: statelessness check.
+  (void)a.tag(ascii_bytes("noise"));
+  EXPECT_EQ(a.tag(msg), tag_now);
+}
+
+TEST(Pmac, EmpiricalCollisionFreedom) {
+  const Pmac pmac(key16());
+  std::set<std::uint32_t> tags;
+  std::size_t collisions = 0;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    std::array<std::uint8_t, 4> msg{
+        static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8),
+        static_cast<std::uint8_t>(i >> 16), 0};
+    if (!tags.insert(pmac.tag32(msg, 7)).second) ++collisions;
+  }
+  EXPECT_LE(collisions, 1u);  // birthday-level noise only
+}
+
+class PmacLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PmacLengthSweep, StableAtBlockBoundaries) {
+  Rng rng(1404 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::uint8_t> msg(GetParam());
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u32());
+  const Pmac a(key16()), b2(key16());
+  EXPECT_EQ(a.tag(msg), b2.tag(msg));
+  if (!msg.empty()) {
+    auto mutated = msg;
+    mutated.back() ^= 0x80;
+    EXPECT_NE(a.tag(mutated), a.tag(msg));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PmacLengthSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 47,
+                                           48, 255, 256, 1024, 1040));
+
+}  // namespace
+}  // namespace ibsec::crypto

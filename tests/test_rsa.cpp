@@ -1,0 +1,157 @@
+// RSA keygen / encrypt / decrypt: primality testing, roundtrips at several
+// modulus sizes, padding robustness, and failure modes (wrong key, tampered
+// ciphertext).
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/rsa.h"
+
+namespace ibsec::crypto {
+namespace {
+
+TEST(Primality, KnownSmallPrimesAndComposites) {
+  CtrDrbg drbg(std::uint64_t{701});
+  for (std::uint32_t p : {2u, 3u, 5u, 7u, 97u, 251u, 65537u}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), drbg)) << p;
+  }
+  for (std::uint32_t c : {0u, 1u, 4u, 9u, 15u, 91u, 561u, 65535u}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), drbg)) << c;
+  }
+}
+
+TEST(Primality, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+  CtrDrbg drbg(std::uint64_t{702});
+  for (std::uint32_t carmichael : {561u, 1105u, 1729u, 2465u, 2821u, 6601u}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(carmichael), drbg)) << carmichael;
+  }
+}
+
+TEST(Primality, LargeKnownPrime) {
+  // 2^127 - 1 is a Mersenne prime.
+  const BigInt m127 = (BigInt(1) << 127) - BigInt(1);
+  CtrDrbg drbg(std::uint64_t{703});
+  EXPECT_TRUE(is_probable_prime(m127, drbg));
+  EXPECT_FALSE(is_probable_prime(m127 - BigInt(2), drbg));
+}
+
+TEST(GeneratePrime, ExactBitLengthAndPrimality) {
+  CtrDrbg drbg(std::uint64_t{704});
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = generate_prime(bits, drbg);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, drbg));
+  }
+}
+
+TEST(Rsa, KeygenProducesConsistentPair) {
+  CtrDrbg drbg(std::uint64_t{705});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  EXPECT_EQ(kp.public_key.n.bit_length(), 512u);
+  EXPECT_EQ(kp.public_key.n, kp.private_key.p * kp.private_key.q);
+  // e*d == 1 mod phi.
+  const BigInt phi = (kp.private_key.p - BigInt(1)) *
+                     (kp.private_key.q - BigInt(1));
+  EXPECT_EQ((kp.public_key.e * kp.private_key.d) % phi, BigInt(1));
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+  CtrDrbg drbg(std::uint64_t{706});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  const auto secret = ascii_bytes("16-byte-secret!!");
+  const auto ct = rsa_encrypt(kp.public_key, secret, drbg);
+  EXPECT_EQ(ct.size(), kp.public_key.modulus_bytes());
+  const auto pt = rsa_decrypt(kp.private_key, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, secret);
+}
+
+TEST(Rsa, RandomPaddingMakesCiphertextsDistinct) {
+  CtrDrbg drbg(std::uint64_t{707});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  const auto secret = ascii_bytes("same plaintext");
+  const auto c1 = rsa_encrypt(kp.public_key, secret, drbg);
+  const auto c2 = rsa_encrypt(kp.public_key, secret, drbg);
+  EXPECT_NE(c1, c2);  // type-2 padding randomizes
+  EXPECT_EQ(rsa_decrypt(kp.private_key, c1), rsa_decrypt(kp.private_key, c2));
+}
+
+TEST(Rsa, WrongKeyFailsCleanly) {
+  CtrDrbg drbg(std::uint64_t{708});
+  const RsaKeyPair kp1 = rsa_generate(512, drbg);
+  const RsaKeyPair kp2 = rsa_generate(512, drbg);
+  const auto ct = rsa_encrypt(kp1.public_key, ascii_bytes("secret"), drbg);
+  const auto pt = rsa_decrypt(kp2.private_key, ct);
+  // Either padding check fails (expected) or decrypt yields garbage != secret.
+  if (pt.has_value()) {
+    EXPECT_NE(*pt, ascii_bytes("secret"));
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(Rsa, TamperedCiphertextFails) {
+  CtrDrbg drbg(std::uint64_t{709});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  auto ct = rsa_encrypt(kp.public_key, ascii_bytes("secret"), drbg);
+  ct[ct.size() / 2] ^= 0x01;
+  const auto pt = rsa_decrypt(kp.private_key, ct);
+  if (pt.has_value()) {
+    EXPECT_NE(*pt, ascii_bytes("secret"));
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(Rsa, WrongLengthCiphertextRejected) {
+  CtrDrbg drbg(std::uint64_t{710});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  std::vector<std::uint8_t> bogus(kp.public_key.modulus_bytes() - 1, 0x42);
+  EXPECT_FALSE(rsa_decrypt(kp.private_key, bogus).has_value());
+}
+
+TEST(Rsa, PlaintextTooLongThrows) {
+  CtrDrbg drbg(std::uint64_t{711});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  std::vector<std::uint8_t> too_long(kp.public_key.modulus_bytes() - 10, 0x11);
+  EXPECT_THROW((void)rsa_encrypt(kp.public_key, too_long, drbg),
+               std::invalid_argument);
+}
+
+TEST(Rsa, MaximumLengthPlaintext) {
+  CtrDrbg drbg(std::uint64_t{712});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  std::vector<std::uint8_t> max_pt(kp.public_key.modulus_bytes() - 11, 0xA5);
+  const auto ct = rsa_encrypt(kp.public_key, max_pt, drbg);
+  const auto pt = rsa_decrypt(kp.private_key, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, max_pt);
+}
+
+TEST(Rsa, EmptyPlaintextRoundTrip) {
+  CtrDrbg drbg(std::uint64_t{713});
+  const RsaKeyPair kp = rsa_generate(512, drbg);
+  const auto ct = rsa_encrypt(kp.public_key, {}, drbg);
+  const auto pt = rsa_decrypt(kp.private_key, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_TRUE(pt->empty());
+}
+
+class RsaModulusSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaModulusSweep, RoundTripAtSize) {
+  CtrDrbg drbg(std::uint64_t{714} + GetParam());
+  const RsaKeyPair kp = rsa_generate(GetParam(), drbg);
+  const auto secret = ascii_bytes("partition-key-01");
+  const auto ct = rsa_encrypt(kp.public_key, secret, drbg);
+  const auto pt = rsa_decrypt(kp.private_key, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RsaModulusSweep,
+                         ::testing::Values(256, 512, 768));
+
+}  // namespace
+}  // namespace ibsec::crypto

@@ -1,0 +1,119 @@
+// SHA-256 against the FIPS 180-2 vectors (which also validates the
+// derive-the-constants-from-primes approach bit-exactly), plus streaming
+// properties and the HMAC-SHA256 instantiation.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace ibsec::crypto {
+namespace {
+
+template <typename Digest>
+std::string hex(const Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash(ascii_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  // FIPS 180-2 test vector #2.
+  EXPECT_EQ(hex(Sha256::hash(ascii_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 sha;
+  const std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) sha.update(chunk);
+  EXPECT_EQ(hex(sha.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+class Sha256Split : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Split, IncrementalMatchesOneShot) {
+  Rng rng(1600 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::uint8_t> data(300);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  const std::size_t cut = std::min(GetParam(), data.size());
+  Sha256 sha;
+  sha.update(std::span(data).first(cut));
+  sha.update(std::span(data).subspan(cut));
+  EXPECT_EQ(sha.finalize(), Sha256::hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, Sha256Split,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 127,
+                                           128, 300));
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 sha;
+  sha.update(ascii_bytes("junk"));
+  sha.reset();
+  sha.update(ascii_bytes("abc"));
+  EXPECT_EQ(hex(sha.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, PaddingBoundariesDistinct) {
+  std::vector<Sha256::Digest> digests;
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    digests.push_back(Sha256::hash(std::vector<std::uint8_t>(len, 0x61)));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]);
+    }
+  }
+}
+
+// --- HMAC-SHA256 (RFC 4231 case 2: short readable key) ------------------------
+
+TEST(HmacSha256, JefeVector) {
+  // RFC 4231 test case 2: key "Jefe", data "what do ya want for nothing?".
+  const auto mac = Hmac<Sha256>::mac(ascii_bytes("Jefe"),
+                                     ascii_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, PropertiesHold) {
+  const auto key = ascii_bytes("0123456789abcdef");
+  const auto m1 = Hmac<Sha256>::mac(key, ascii_bytes("message one"));
+  const auto m2 = Hmac<Sha256>::mac(key, ascii_bytes("message two"));
+  EXPECT_NE(m1, m2);
+  const auto other = Hmac<Sha256>::mac(ascii_bytes("different key!!!"),
+                                       ascii_bytes("message one"));
+  EXPECT_NE(m1, other);
+  // Truncated tag matches the leftmost bytes.
+  const std::uint32_t t32 =
+      Hmac<Sha256>::truncated_tag32(key, ascii_bytes("message one"));
+  EXPECT_EQ(t32, static_cast<std::uint32_t>(m1[0]) << 24 |
+                     static_cast<std::uint32_t>(m1[1]) << 16 |
+                     static_cast<std::uint32_t>(m1[2]) << 8 | m1[3]);
+}
+
+TEST(HmacSha256, LongKeyPreHashed) {
+  std::vector<std::uint8_t> long_key(100, 0x55);
+  const auto hashed = Sha256::hash(long_key);
+  const auto msg = ascii_bytes("equivalence");
+  EXPECT_EQ(Hmac<Sha256>::mac(long_key, msg),
+            Hmac<Sha256>::mac(std::span<const std::uint8_t>(hashed.data(),
+                                                            hashed.size()),
+                              msg));
+}
+
+}  // namespace
+}  // namespace ibsec::crypto

@@ -1,0 +1,123 @@
+// Discrete-event kernel: ordering, FIFO tie-breaking, clock semantics.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace ibsec::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    SimTime t;
+    q.pop(t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    SimTime t;
+    q.pop(t)();
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.next_time(), 50);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.at(123, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 123);
+  EXPECT_EQ(sim.now(), 123);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.at(100, [&] {
+    times.push_back(sim.now());
+    sim.after(50, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{100, 150}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);  // events at exactly the boundary run
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100);  // clock advances to the horizon
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.at(100, [&] {
+    sim.at(50, [&] { seen = sim.now(); });  // in the past -> now
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, CascadingEventsSameTime) {
+  // An event scheduling another event at the same instant runs it before
+  // later times.
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(10, [&] {
+    order.push_back(1);
+    sim.after(0, [&] { order.push_back(2); });
+  });
+  sim.at(11, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, DeterministicInterleaving) {
+  // Two runs of the same program produce identical event interleavings.
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      sim.at(i % 10, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ibsec::sim

@@ -1,0 +1,94 @@
+// The sec. 7 stream-cipher MAC (CRC-then-encrypt): it works as a checksum,
+// is deterministic and nonce-separated — and is forgeable by linearity,
+// which the forge_tag test demonstrates end to end. This is why the fabric
+// never offers it as a production AuthAlgorithm.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/stream_mac.h"
+
+namespace ibsec::crypto {
+namespace {
+
+std::vector<std::uint8_t> key16() { return ascii_bytes("stream-mac-key!!"); }
+
+TEST(StreamCrcMac, DeterministicAndVerifies) {
+  const StreamCrcMac mac(key16());
+  const auto msg = ascii_bytes("fast but flawed");
+  const std::uint32_t t = mac.tag32(msg, 9);
+  EXPECT_EQ(t, mac.tag32(msg, 9));
+  EXPECT_TRUE(mac.verify(msg, 9, t));
+  EXPECT_FALSE(mac.verify(msg, 10, t));
+}
+
+TEST(StreamCrcMac, NonceSeparatesTags) {
+  const StreamCrcMac mac(key16());
+  const auto msg = ascii_bytes("same payload");
+  EXPECT_NE(mac.tag32(msg, 1), mac.tag32(msg, 2));
+}
+
+TEST(StreamCrcMac, KeySensitivity) {
+  const auto msg = ascii_bytes("same payload");
+  const StreamCrcMac a(key16());
+  auto other = key16();
+  other[0] ^= 1;
+  const StreamCrcMac b(other);
+  EXPECT_NE(a.tag32(msg, 3), b.tag32(msg, 3));
+}
+
+TEST(StreamCrcMac, RandomBitFlipsDetected) {
+  // Against *blind* corruption it behaves like a CRC — fine as a checksum.
+  const StreamCrcMac mac(key16());
+  Rng rng(1501);
+  std::vector<std::uint8_t> msg(256);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u32());
+  const std::uint32_t original = mac.tag32(msg, 4);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto mutated = msg;
+    mutated[rng.uniform(msg.size())] ^=
+        static_cast<std::uint8_t>(1 << rng.uniform(8));
+    EXPECT_NE(mac.tag32(mutated, 4), original);
+  }
+}
+
+TEST(StreamCrcMac, LinearForgeryBreaksIt) {
+  // THE attack: the adversary observes (message, tag) — never the key —
+  // flips chosen message bits, and computes the matching tag offline.
+  const StreamCrcMac victim(key16());
+  const auto msg = ascii_bytes("PAY ALICE $0000100");
+  const std::uint32_t observed = victim.tag32(msg, 77);
+
+  // Attacker wants "PAY ALICE $9999100".
+  const auto target = ascii_bytes("PAY ALICE $9999100");
+  ASSERT_EQ(target.size(), msg.size());
+  std::vector<std::uint8_t> delta(msg.size());
+  for (std::size_t i = 0; i < msg.size(); ++i) delta[i] = msg[i] ^ target[i];
+
+  const std::uint32_t forged = StreamCrcMac::forge_tag(delta, observed);
+  // The forged tag verifies under the victim's secret key.
+  EXPECT_TRUE(victim.verify(target, 77, forged));
+  EXPECT_NE(target, msg);
+}
+
+TEST(StreamCrcMac, ForgeryWorksForAnyDelta) {
+  const StreamCrcMac victim(key16());
+  Rng rng(1502);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> msg(64), delta(64);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u32());
+    for (auto& b : delta) b = static_cast<std::uint8_t>(rng.next_u32());
+    const std::uint32_t observed = victim.tag32(msg, 1000 + trial);
+    std::vector<std::uint8_t> target(64);
+    for (std::size_t i = 0; i < 64; ++i) target[i] = msg[i] ^ delta[i];
+    EXPECT_TRUE(victim.verify(target, 1000 + trial,
+                              StreamCrcMac::forge_tag(delta, observed)));
+  }
+}
+
+TEST(StreamCrcMac, RejectsBadKeyLength) {
+  EXPECT_THROW(StreamCrcMac m(ascii_bytes("short")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibsec::crypto
