@@ -1,8 +1,11 @@
-// Shared helpers for the figure/table benches: consistent table printing and
-// the Table 1 parameter banner every experiment leads with.
+// Shared helpers for the figure/table benches: consistent table printing,
+// the Table 1 parameter banner every experiment leads with, and the metrics
+// snapshot dump for machine-readable output.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "workload/scenario.h"
 
@@ -18,6 +21,18 @@ inline void print_testbed_banner(const fabric::FabricConfig& cfg) {
   std::printf("  Topology                : %dx%d mesh, %d nodes\n",
               cfg.mesh_width, cfg.mesh_height, cfg.node_count());
   std::printf("\n");
+}
+
+/// Writes a registry snapshot to `path` as JSON (".json" suffix) or CSV
+/// (anything else). Returns false when the file cannot be written.
+inline bool write_metrics_file(const obs::Snapshot& snap,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  out << (json ? snap.to_json() : snap.to_csv());
+  return static_cast<bool>(out);
 }
 
 inline void print_class_row(const char* label,

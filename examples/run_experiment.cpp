@@ -38,7 +38,8 @@ void usage(const char* prog) {
       "  --partitions N       number of random partitions (default 4)\n"
       "  --rate-limit F       ingress admission cap fraction, 0 = off\n"
       "  --valid-pkey-attack  attackers flood with their own valid P_Key\n"
-      "  --trace FILE         write a per-packet CSV trace\n",
+      "  --trace FILE         write a per-packet CSV trace\n"
+      "  --metrics FILE       dump the metrics snapshot (.json = JSON, else CSV)\n",
       prog);
 }
 
@@ -52,6 +53,7 @@ bool parse_double(const char* s, double& out) {
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string metrics_path;
   workload::ScenarioConfig cfg;
   cfg.seed = 1;
   cfg.duration = 5 * time_literals::kMillisecond;
@@ -127,6 +129,8 @@ int main(int argc, char** argv) {
       cfg.attack_with_valid_pkey = true;
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
@@ -157,6 +161,15 @@ int main(int argc, char** argv) {
     }
   }
   const auto r = scenario.run();
+  if (!metrics_path.empty()) {
+    if (bench::write_metrics_file(r.obs, metrics_path)) {
+      std::printf("metrics: wrote %zu values to %s\n", r.obs.values.size(),
+                  metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   metrics_path.c_str());
+    }
+  }
   if (!trace_path.empty()) {
     if (trace.write_csv_file(trace_path)) {
       std::printf("trace: wrote %zu rows to %s\n", trace.rows().size(),

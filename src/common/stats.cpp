@@ -52,6 +52,18 @@ void Histogram::add(double x) {
   }
 }
 
+bool Histogram::merge(const Histogram& other) {
+  if (width_ != other.width_ || counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  return true;
+}
+
 double Histogram::percentile(double fraction) const {
   if (total_ == 0) return 0.0;
   const double target = fraction * static_cast<double>(total_);

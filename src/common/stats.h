@@ -43,6 +43,12 @@ class Histogram {
   Histogram(double upper, int buckets);
 
   void add(double x);
+
+  /// Merges another histogram with the same bucket layout into this one
+  /// (parallel reduction over fixed buckets). Returns false — leaving this
+  /// histogram untouched — when the shapes differ.
+  bool merge(const Histogram& other);
+
   std::uint64_t bucket_count(int i) const { return counts_[i]; }
   std::uint64_t overflow() const { return overflow_; }
   int buckets() const { return static_cast<int>(counts_.size()); }

@@ -7,7 +7,12 @@ Hca::Hca(sim::Simulator& simulator, const FabricConfig& config, int node_id)
       config_(config),
       node_id_(node_id),
       out_(std::make_unique<OutputPort>(
-          simulator, config.link, "hca" + std::to_string(node_id) + ".out")) {}
+          simulator, config.link, "hca" + std::to_string(node_id) + ".out")) {
+  auto& reg = simulator.obs();
+  const std::string prefix = "hca." + std::to_string(node_id) + ".";
+  obs_injected_ = &reg.counter(prefix + "injected");
+  obs_received_ = &reg.counter(prefix + "received");
+}
 
 void Hca::set_upstream(OutputPort* upstream) {
   in_ = InputPort(&sim_, config_.link, upstream);
@@ -16,6 +21,7 @@ void Hca::set_upstream(OutputPort* upstream) {
 void Hca::send(ib::Packet&& pkt) {
   if (pkt.meta.created_at < 0) pkt.meta.created_at = sim_.now();
   ++packets_sent_;
+  obs_injected_->inc();
   const ib::VirtualLane vl = pkt.lrh.vl;
   out_->enqueue(std::move(pkt), vl);
 }
@@ -25,6 +31,7 @@ void Hca::packet_arrived(ib::Packet&& pkt, int /*in_port*/) {
   in_.accept(pkt, vl);
   pkt.meta.delivered_at = sim_.now();
   ++packets_received_;
+  obs_received_->inc();
   // Consume immediately: the HCA drains its receive buffer at line rate in
   // this model (the paper attributes congestion to the send side).
   const std::size_t bytes = pkt.wire_size();

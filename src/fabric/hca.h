@@ -56,6 +56,8 @@ class Hca final : public Device {
   ReceiveCallback rx_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;
+  obs::Counter* obs_injected_ = nullptr;
+  obs::Counter* obs_received_ = nullptr;
 };
 
 }  // namespace ibsec::fabric

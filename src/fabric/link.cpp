@@ -34,7 +34,17 @@ OutputPort::OutputPort(sim::Simulator& simulator, const LinkParams& params,
       // Per-port fault stream: deterministic, decorrelated across ports by
       // hashing the port name into the seed.
       fault_rng_(params.corruption_seed ^
-                 std::hash<std::string>{}(name_)) {}
+                 std::hash<std::string>{}(name_)) {
+  auto& reg = simulator.obs();
+  const std::string prefix = "link." + name_ + ".";
+  obs_packets_ = &reg.counter(prefix + "packets");
+  obs_bytes_ = &reg.counter(prefix + "bytes");
+  obs_corrupted_ = &reg.counter(prefix + "corrupted");
+  obs_credit_stall_ = &reg.time_accumulator(prefix + "credit_stall");
+  obs_vl_dispatched_.assign(static_cast<std::size_t>(params.num_vls), nullptr);
+  arbiter_.set_obs(&reg.counter(prefix + "arb.high_grants"),
+                   &reg.counter(prefix + "arb.low_grants"));
+}
 
 void OutputPort::connect(Device* peer, int peer_port) {
   peer_ = peer;
@@ -89,8 +99,25 @@ int OutputPort::arbitrate() {
 void OutputPort::try_dispatch() {
   if (line_busy_ || peer_ == nullptr) return;
   const int vl_index = arbitrate();
-  if (vl_index < 0) return;
+  if (vl_index < 0) {
+    // Line free, packets queued, but no VL holds the credits to send: a
+    // credit stall. The span closes at the next successful dispatch.
+    if (stall_since_ < 0 && total_queue_depth() > 0) {
+      stall_since_ = sim_.now();
+    }
+    return;
+  }
+  if (stall_since_ >= 0) {
+    obs_credit_stall_->add(sim_.now() - stall_since_);
+    stall_since_ = -1;
+  }
   const auto vl = static_cast<ib::VirtualLane>(vl_index);
+  obs::Counter*& vl_counter = obs_vl_dispatched_[vl];
+  if (vl_counter == nullptr) {
+    vl_counter = &sim_.obs().counter("link." + name_ + ".vl." +
+                                     std::to_string(vl_index) + ".dispatched");
+  }
+  vl_counter->inc();
 
   QueuedPacket entry = std::move(vl_queues_[vl].front());
   vl_queues_[vl].pop_front();
@@ -120,6 +147,8 @@ void OutputPort::try_dispatch() {
     ++packets_sent_;
     bytes_sent_ += bytes;
     busy_time_ += tx_time;
+    obs_packets_->inc();
+    obs_bytes_->inc(bytes);
     try_dispatch();
   });
 
@@ -128,6 +157,7 @@ void OutputPort::try_dispatch() {
   if (params_.corruption_rate > 0.0 &&
       fault_rng_.bernoulli(params_.corruption_rate)) {
     ++packets_corrupted_;
+    obs_corrupted_->inc();
     if (!entry.pkt.payload.empty()) {
       const std::size_t at = fault_rng_.uniform(entry.pkt.payload.size());
       entry.pkt.payload[at] ^=

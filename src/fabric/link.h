@@ -102,6 +102,17 @@ class OutputPort {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_corrupted_ = 0;
   SimTime busy_time_ = 0;
+  // Registry handles under "link.<name>.". Credit stalls measure the spans
+  // where the line is free and packets wait but no VL has the credits to
+  // send — the hop-by-hop back-pressure signal behind the paper's queuing-
+  // time growth. Per-VL dispatch counters resolve lazily (most of the 16
+  // VLs never carry traffic).
+  obs::Counter* obs_packets_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_corrupted_ = nullptr;
+  obs::TimeAccumulator* obs_credit_stall_ = nullptr;
+  std::vector<obs::Counter*> obs_vl_dispatched_;
+  SimTime stall_since_ = -1;
 
  public:
   std::uint64_t packets_corrupted() const { return packets_corrupted_; }

@@ -6,9 +6,17 @@ namespace ibsec::fabric {
 
 SwitchPartitionFilter::SwitchPartitionFilter(const FabricConfig& config,
                                              sim::Simulator& simulator,
-                                             int num_ports)
+                                             int num_ports,
+                                             std::string obs_prefix)
     : config_(config), sim_(simulator),
-      ports_(static_cast<std::size_t>(num_ports)) {}
+      ports_(static_cast<std::size_t>(num_ports)) {
+  auto& reg = simulator.obs();
+  obs_lookups_ = &reg.counter(obs_prefix + ".lookups");
+  obs_drops_ = &reg.counter(obs_prefix + ".drops");
+  obs_sif_activations_ = &reg.counter(obs_prefix + ".sif.activations");
+  obs_sif_deactivations_ = &reg.counter(obs_prefix + ".sif.deactivations");
+  obs_sif_armed_time_ = &reg.time_accumulator(obs_prefix + ".sif.armed_time");
+}
 
 void SwitchPartitionFilter::set_ingress_port(int port, bool is_ingress) {
   ports_.at(static_cast<std::size_t>(port)).is_ingress = is_ingress;
@@ -36,22 +44,31 @@ SwitchPartitionFilter::Decision SwitchPartitionFilter::check(
     case FilterMode::kDpt: {
       // Every port pays a lookup for every packet.
       ++total_lookups_;
+      obs_lookups_->inc();
       const bool ok = ps.partition_table.contains(pkey);
-      if (!ok) ++total_drops_;
+      if (!ok) {
+        ++total_drops_;
+        obs_drops_->inc();
+      }
       return {ok, config_.filter_lookup_cycles};
     }
 
     case FilterMode::kIf: {
       if (!ps.is_ingress) return {true, 0};
       ++total_lookups_;
+      obs_lookups_->inc();
       const bool ok = ps.partition_table.contains(pkey);
-      if (!ok) ++total_drops_;
+      if (!ok) {
+        ++total_drops_;
+        obs_drops_->inc();
+      }
       return {ok, config_.filter_lookup_cycles};
     }
 
     case FilterMode::kSif: {
       if (!ps.is_ingress || !ps.sif_active) return {true, 0};
       ++total_lookups_;
+      obs_lookups_->inc();
       bool drop;
       if (ps.invalid_pkeys.size() < ps.partition_table.size() ||
           ps.partition_table.size() == 0) {
@@ -63,6 +80,7 @@ SwitchPartitionFilter::Decision SwitchPartitionFilter::check(
       }
       if (drop) {
         ++total_drops_;
+        obs_drops_->inc();
         ++ps.violation_counter;
       }
       return {!drop, config_.filter_lookup_cycles};
@@ -79,6 +97,8 @@ void SwitchPartitionFilter::install_invalid_pkey(int port,
   }
   if (!ps.sif_active) {
     ps.sif_active = true;
+    ps.armed_at = sim_.now();
+    obs_sif_activations_->inc();
     ps.counter_at_last_check = ps.violation_counter;
     schedule_idle_check(port);
   }
@@ -97,6 +117,8 @@ void SwitchPartitionFilter::schedule_idle_check(int port) {
       // forget the invalid keys so memory returns to baseline.
       state.sif_active = false;
       state.invalid_pkeys.clear();
+      obs_sif_deactivations_->inc();
+      obs_sif_armed_time_->add(sim_.now() - state.armed_at);
     } else {
       state.counter_at_last_check = state.violation_counter;
       schedule_idle_check(port);

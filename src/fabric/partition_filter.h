@@ -34,8 +34,10 @@ class SwitchPartitionFilter {
     int lookup_cycles = 0;  ///< extra pipeline cycles spent on filtering
   };
 
+  /// `obs_prefix` scopes this filter's registry metrics (lookups, drops,
+  /// SIF arm/disarm counts and armed time), e.g. "switch.3.filter".
   SwitchPartitionFilter(const FabricConfig& config, sim::Simulator& simulator,
-                        int num_ports);
+                        int num_ports, std::string obs_prefix = "filter");
 
   /// Marks `port` as HCA-facing (an ingress port for IF/SIF purposes).
   void set_ingress_port(int port, bool is_ingress);
@@ -79,6 +81,7 @@ class SwitchPartitionFilter {
     std::uint64_t violation_counter = 0;
     std::uint64_t counter_at_last_check = 0;
     bool timeout_pending = false;
+    SimTime armed_at = 0;
   };
 
   void schedule_idle_check(int port);
@@ -89,6 +92,14 @@ class SwitchPartitionFilter {
   std::vector<PortState> ports_;
   std::uint64_t total_lookups_ = 0;
   std::uint64_t total_drops_ = 0;
+  // Registry handles under "<obs_prefix>.": hit counts per enforcement
+  // scheme plus the SIF activation lifecycle (armed time accumulates on
+  // disarm, so a snapshot mid-attack shows completed windows only).
+  obs::Counter* obs_lookups_ = nullptr;
+  obs::Counter* obs_drops_ = nullptr;
+  obs::Counter* obs_sif_activations_ = nullptr;
+  obs::Counter* obs_sif_deactivations_ = nullptr;
+  obs::TimeAccumulator* obs_sif_armed_time_ = nullptr;
 };
 
 }  // namespace ibsec::fabric

@@ -10,7 +10,15 @@ Switch::Switch(sim::Simulator& simulator, const FabricConfig& config, int id,
       config_(config),
       id_(id),
       routes_(std::numeric_limits<ib::Lid>::max() + 1, -1),
-      filter_(config, simulator, num_ports) {
+      filter_(config, simulator, num_ports,
+              "switch." + std::to_string(id) + ".filter") {
+  auto& reg = simulator.obs();
+  const std::string prefix = "switch." + std::to_string(id) + ".";
+  obs_.forwarded = &reg.counter(prefix + "forwarded");
+  obs_.drop_pkey = &reg.counter(prefix + "drop.pkey_mismatch");
+  obs_.drop_no_route = &reg.counter(prefix + "drop.no_route");
+  obs_.drop_vcrc = &reg.counter(prefix + "drop.vcrc");
+  obs_.drop_rate_limited = &reg.counter(prefix + "drop.rate_limited");
   outputs_.reserve(static_cast<std::size_t>(num_ports));
   inputs_.resize(static_cast<std::size_t>(num_ports));
   for (int p = 0; p < num_ports; ++p) {
@@ -56,6 +64,7 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   // Link-level integrity: a corrupted packet is dropped at the hop.
   if (!pkt.vcrc_valid()) {
     ++stats_.dropped_vcrc;
+    obs_.drop_vcrc->inc();
     input.release(pkt, vl);
     return;
   }
@@ -69,6 +78,7 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
     if (limiter != nullptr &&
         !limiter->consume(pkt.wire_size(), sim_.now())) {
       ++stats_.dropped_rate_limited;
+      obs_.drop_rate_limited->inc();
       input.release(pkt, vl);
       return;
     }
@@ -91,16 +101,19 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
     const ib::VirtualLane pvl = shared->lrh.vl;
     if (!decision.allow) {
       ++stats_.dropped_filter;
+      obs_.drop_pkey->inc();
       in.release(*shared, pvl);
       return;
     }
     const int out_port = routes_.at(shared->lrh.dlid);
     if (out_port < 0 || out_port >= num_ports() || out_port == in_port) {
       ++stats_.dropped_no_route;
+      obs_.drop_no_route->inc();
       in.release(*shared, pvl);
       return;
     }
     ++stats_.forwarded;
+    obs_.forwarded->inc();
     shared->refresh_vcrc();
 
     // Hold input-buffer bytes until the packet starts on the output wire;

@@ -54,6 +54,16 @@ class Switch final : public Device {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Registry handles under "switch.<id>." — the drop-cause taxonomy the
+  /// packet-conservation invariant sums over.
+  struct ObsHandles {
+    obs::Counter* forwarded = nullptr;
+    obs::Counter* drop_pkey = nullptr;
+    obs::Counter* drop_no_route = nullptr;
+    obs::Counter* drop_vcrc = nullptr;
+    obs::Counter* drop_rate_limited = nullptr;
+  };
+
  private:
   void process(ib::Packet&& pkt, int in_port);
 
@@ -68,6 +78,7 @@ class Switch final : public Device {
   // only when config_.ingress_rate_limit_fraction > 0.
   std::vector<std::unique_ptr<TokenBucket>> ingress_limiters_;
   Stats stats_;
+  ObsHandles obs_;
 };
 
 }  // namespace ibsec::fabric

@@ -43,8 +43,13 @@ int VlArbiter::pick_from(TableState& table,
 
 int VlArbiter::pick(const std::function<bool(ib::VirtualLane)>& sendable) {
   const int high = pick_from(high_, sendable);
-  if (high >= 0) return high;
-  return pick_from(low_, sendable);
+  if (high >= 0) {
+    if (obs_high_grants_ != nullptr) obs_high_grants_->inc();
+    return high;
+  }
+  const int low = pick_from(low_, sendable);
+  if (low >= 0 && obs_low_grants_ != nullptr) obs_low_grants_->inc();
+  return low;
 }
 
 void VlArbiter::on_sent(ib::VirtualLane vl, std::size_t bytes) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ib/types.h"
+#include "obs/registry.h"
 
 namespace ibsec::fabric {
 
@@ -50,6 +51,14 @@ class VlArbiter {
   /// weight and advancing the WRR pointer when the entry is exhausted.
   void on_sent(ib::VirtualLane vl, std::size_t bytes);
 
+  /// Attaches grant counters (owned by the registry): each successful pick
+  /// increments the counter of the table it was served from — the per-link
+  /// view of how transmit slots split between priority classes.
+  void set_obs(obs::Counter* high_grants, obs::Counter* low_grants) {
+    obs_high_grants_ = high_grants;
+    obs_low_grants_ = low_grants;
+  }
+
  private:
   struct TableState {
     std::vector<VlArbitrationEntry> entries;
@@ -75,6 +84,8 @@ class VlArbiter {
   TableState low_;
   // Which table the last pick came from, for weight accounting.
   TableState* last_table_ = nullptr;
+  obs::Counter* obs_high_grants_ = nullptr;
+  obs::Counter* obs_low_grants_ = nullptr;
 };
 
 }  // namespace ibsec::fabric

@@ -1,9 +1,31 @@
 #include "security/auth_engine.h"
 
+#include <string>
+
 namespace ibsec::security {
 
 AuthEngine::AuthEngine(transport::ChannelAdapter& ca) : ca_(ca) {
   ca_.set_authenticator(this);
+  auto& reg = ca_.fabric().simulator().obs();
+  obs_signed_ = &reg.counter("auth.signed");
+  obs_verify_ok_ = &reg.counter("auth.verify_ok");
+  obs_plain_accepted_ = &reg.counter("auth.plain_accepted");
+  obs_prev_epoch_ = &reg.counter("auth.prev_epoch_accepted");
+  obs_fail_unauthenticated_ = &reg.counter("auth.fail.unauthenticated");
+  obs_fail_no_key_ = &reg.counter("auth.fail.no_key");
+  obs_fail_replay_ = &reg.counter("auth.fail.replay");
+}
+
+obs::Counter& AuthEngine::verify_fail_counter(std::uint8_t alg_id) {
+  const auto it = obs_verify_fail_.find(alg_id);
+  if (it != obs_verify_fail_.end()) return *it->second;
+  const std::string name =
+      "auth.verify_fail." +
+      std::string(crypto::to_string(
+          static_cast<crypto::AuthAlgorithm>(alg_id)));
+  obs::Counter& counter = ca_.fabric().simulator().obs().counter(name);
+  obs_verify_fail_[alg_id] = &counter;
+  return counter;
 }
 
 void AuthEngine::enable_for_partition(ib::PKeyValue pkey) {
@@ -34,6 +56,7 @@ bool AuthEngine::sign(ib::Packet& pkt) {
   pkt.icrc = mac->tag32(pkt.icrc_covered_bytes(), pkt.bth.psn);
   pkt.refresh_vcrc();
   ++stats_.signed_packets;
+  obs_signed_->inc();
   return true;
 }
 
@@ -44,13 +67,16 @@ transport::AuthVerdict AuthEngine::verify(const ib::Packet& pkt) {
     // Legacy packet with a plain ICRC.
     if (required) {
       ++stats_.unauthenticated_rejected;
+      obs_fail_unauthenticated_->inc();
       return transport::AuthVerdict::kNotAuthenticated;
     }
     if (!pkt.icrc_valid()) {
       ++stats_.bad_tag;
+      verify_fail_counter(0).inc();
       return transport::AuthVerdict::kRejectBadTag;
     }
     ++stats_.plain_accepted;
+    obs_plain_accepted_->inc();
     return transport::AuthVerdict::kAccept;
   }
 
@@ -63,6 +89,7 @@ transport::AuthVerdict AuthEngine::verify(const ib::Packet& pkt) {
       key_manager_ ? key_manager_->rx_mac_previous(pkt) : nullptr;
   if (mac == nullptr && prev == nullptr) {
     ++stats_.no_key;
+    obs_fail_no_key_->inc();
     return transport::AuthVerdict::kRejectNoKey;
   }
   const auto bytes = pkt.icrc_covered_bytes();
@@ -75,8 +102,10 @@ transport::AuthVerdict AuthEngine::verify(const ib::Packet& pkt) {
   if (!accepts(mac)) {
     if (accepts(prev)) {
       ++stats_.previous_epoch_accepted;
+      obs_prev_epoch_->inc();
     } else {
       ++stats_.bad_tag;
+      verify_fail_counter(pkt.bth.resv8a).inc();
       return transport::AuthVerdict::kRejectBadTag;
     }
   }
@@ -87,11 +116,13 @@ transport::AuthVerdict AuthEngine::verify(const ib::Packet& pkt) {
         windows_[{pkt.bth.dest_qp, pkt.lrh.slid, src_qp}];
     if (!window.accept(pkt.bth.psn)) {
       ++stats_.replays;
+      obs_fail_replay_->inc();
       return transport::AuthVerdict::kRejectReplay;
     }
   }
 
   ++stats_.verified_ok;
+  obs_verify_ok_->inc();
   return transport::AuthVerdict::kAccept;
 }
 

@@ -65,6 +65,9 @@ class AuthEngine final : public transport::PacketAuthenticator {
 
  private:
   bool policy_applies(ib::PKeyValue pkey) const;
+  /// Counter for bad tags claiming algorithm `alg_id`, resolved on first
+  /// failure ("auth.verify_fail.<algorithm-name>").
+  obs::Counter& verify_fail_counter(std::uint8_t alg_id);
 
   transport::ChannelAdapter& ca_;
   KeyManager* key_manager_ = nullptr;
@@ -75,6 +78,16 @@ class AuthEngine final : public transport::PacketAuthenticator {
   std::map<std::tuple<ib::Qpn, std::uint16_t, ib::Qpn>, ReplayWindow>
       windows_;
   Stats stats_;
+  // Fabric-wide "auth.*" counters: every engine in the simulation shares the
+  // same registry entries, so a snapshot shows the aggregate directly.
+  obs::Counter* obs_signed_ = nullptr;
+  obs::Counter* obs_verify_ok_ = nullptr;
+  obs::Counter* obs_plain_accepted_ = nullptr;
+  obs::Counter* obs_prev_epoch_ = nullptr;
+  obs::Counter* obs_fail_unauthenticated_ = nullptr;
+  obs::Counter* obs_fail_no_key_ = nullptr;
+  obs::Counter* obs_fail_replay_ = nullptr;
+  std::map<std::uint8_t, obs::Counter*> obs_verify_fail_;
 };
 
 }  // namespace ibsec::security

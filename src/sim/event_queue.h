@@ -4,11 +4,16 @@
 // the same instant fire in FIFO order — this makes the whole simulation a
 // deterministic function of (topology, seed), which the experiment sweeps
 // and regression tests rely on.
+//
+// The heap is managed directly over a vector with std::push_heap /
+// std::pop_heap (instead of std::priority_queue) so that pop() can move the
+// callback out of the popped element without const_cast-ing the container's
+// top() reference — the UB-adjacent pattern std::priority_queue forces.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.h"
@@ -20,20 +25,21 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   void schedule(SimTime when, Callback fn) {
-    heap_.push(Event{when, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  SimTime next_time() const { return heap_.top().time; }
+  SimTime next_time() const { return heap_.front().time; }
 
   /// Removes and returns the earliest event's callback, advancing nothing
   /// else; the Simulator owns the clock.
   Callback pop(SimTime& time_out) {
-    // top() is const; the callback must be moved out, so re-wrap.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     time_out = ev.time;
     return std::move(ev.fn);
   }
@@ -43,14 +49,18 @@ class EventQueue {
     SimTime time;
     std::uint64_t seq;
     Callback fn;
+  };
 
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+  /// Orders later events below earlier ones so the heap front is the
+  /// earliest (make_heap builds a max-heap with respect to the comparator).
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "obs/registry.h"
 #include "sim/event_queue.h"
 
 namespace ibsec::sim {
@@ -15,6 +16,11 @@ namespace ibsec::sim {
 class Simulator {
  public:
   SimTime now() const { return now_; }
+
+  /// This simulation's metrics registry (see obs/registry.h). One per
+  /// Simulator so parallel sweep workers never share metric state.
+  obs::Registry& obs() { return obs_; }
+  const obs::Registry& obs() const { return obs_; }
 
   /// Schedules `fn` at absolute time `when` (must be >= now()).
   void at(SimTime when, EventQueue::Callback fn) {
@@ -55,6 +61,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
+  obs::Registry obs_;
 };
 
 }  // namespace ibsec::sim

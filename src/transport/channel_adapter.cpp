@@ -27,6 +27,21 @@ ChannelAdapter::ChannelAdapter(fabric::Fabric& fabric, int node,
       keypair_(crypto::rsa_generate(rsa_bits, drbg_)) {
   pki_.register_node(node_, keypair_.public_key);
   partition_table_.add(ib::kDefaultPKey);
+  auto& reg = fabric_.simulator().obs();
+  const std::string prefix = "ca." + std::to_string(node_) + ".retired.";
+  retire_.vcrc = &reg.counter(prefix + "vcrc");
+  retire_.mad = &reg.counter(prefix + "mad");
+  retire_.pkey_violation = &reg.counter(prefix + "pkey_violation");
+  retire_.auth_missing = &reg.counter(prefix + "auth_missing");
+  retire_.auth_rejected = &reg.counter(prefix + "auth_rejected");
+  retire_.icrc_error = &reg.counter(prefix + "icrc_error");
+  retire_.rdma_rejected = &reg.counter(prefix + "rdma_rejected");
+  retire_.rdma_nak = &reg.counter(prefix + "rdma_nak");
+  retire_.rdma_read_response = &reg.counter(prefix + "rdma_read_response");
+  retire_.ack = &reg.counter(prefix + "ack");
+  retire_.no_dest_qp = &reg.counter(prefix + "no_dest_qp");
+  retire_.qkey_violation = &reg.counter(prefix + "qkey_violation");
+  retire_.delivered = &reg.counter(prefix + "delivered");
   fabric_.hca(node_).set_receive_callback(
       [this](ib::Packet&& pkt) { on_packet(std::move(pkt)); });
 }
@@ -261,10 +276,12 @@ void ChannelAdapter::on_packet(ib::Packet&& pkt) {
   // switch->HCA link) reaches us unchecked by any switch.
   if (!pkt.vcrc_valid()) {
     ++counters_.vcrc_errors;
+    retire_.vcrc->inc();
     return;
   }
   if (pkt.lrh.vl == ib::kManagementVl &&
       pkt.bth.dest_qp == ib::kQp0SubnetManagement) {
+    retire_.mad->inc();
     handle_mad_packet(pkt);
     return;
   }
@@ -317,6 +334,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       ++counters_.traps_sent;
       send_mad(sm_node_, trap);
     }
+    retire_.pkey_violation->inc();
     return;
   }
 
@@ -328,15 +346,18 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
         break;
       case AuthVerdict::kNotAuthenticated:
         ++counters_.auth_unauthenticated;
+        retire_.auth_missing->inc();
         return;
       case AuthVerdict::kRejectBadTag:
       case AuthVerdict::kRejectNoKey:
       case AuthVerdict::kRejectReplay:
         ++counters_.auth_rejected;
+        retire_.auth_rejected->inc();
         return;
     }
   } else if (pkt.bth.resv8a == 0 && !pkt.icrc_valid()) {
     ++counters_.icrc_errors;
+    retire_.icrc_error->inc();
     return;
   }
 
@@ -351,21 +372,27 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
     return;
   }
   if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadResponse) {
+    retire_.rdma_read_response->inc();
     complete_rdma_read(pkt);
     return;
   }
   if (pkt.bth.opcode == ib::OpCode::kRcAck) {
     ++counters_.acks_received;
+    retire_.ack->inc();
     return;
   }
 
   // 4. SEND delivery: locate the destination QP; UD checks the Q_Key.
   QueuePair* qp = find_qp(pkt.bth.dest_qp);
-  if (qp == nullptr) return;
+  if (qp == nullptr) {
+    retire_.no_dest_qp->inc();
+    return;
+  }
   if (qp->type == ServiceType::kUnreliableDatagram) {
     if (!pkt.deth || pkt.deth->qkey != qp->qkey) {
       ++counters_.qkey_violations;
       ++qp->counters.dropped_bad_qkey;
+      retire_.qkey_violation->inc();
       return;
     }
   } else {
@@ -373,6 +400,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
   }
   ++qp->counters.received;
   ++counters_.delivered;
+  retire_.delivered->inc();
   if (probe_) probe_(pkt);
   if (receive_handler_) receive_handler_(pkt, *qp);
 
@@ -453,6 +481,7 @@ void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt) {
   if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
       !qp->connected || !pkt.reth) {
     ++counters_.rdma_rejected;
+    retire_.rdma_rejected->inc();
     return;
   }
   ib::Packet resp = make_packet(ib::PacketMeta::TrafficClass::kBestEffort,
@@ -466,10 +495,12 @@ void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt) {
       pkt.reth->rkey, pkt.reth->va, pkt.reth->dma_len, /*is_write=*/false);
   if (!region) {
     ++counters_.rdma_read_naks;
+    retire_.rdma_nak->inc();
     resp.aeth = ib::Aeth{0x60 /*NAK: remote access error*/, pkt.bth.psn};
   } else {
     ++counters_.rdma_reads_served;
     ++counters_.delivered;
+    retire_.delivered->inc();
     if (probe_) probe_(pkt);
     resp.aeth = ib::Aeth{0x00, pkt.bth.psn};
     const auto& buffer = memory_.at(pkt.reth->rkey);
@@ -496,6 +527,7 @@ void ChannelAdapter::complete_rdma_read(const ib::Packet& pkt) {
 void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {
   if (!pkt.reth) {
     ++counters_.rdma_rejected;
+    retire_.rdma_rejected->inc();
     return;
   }
   const auto region = memory_table_.check_access(
@@ -503,6 +535,7 @@ void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {
       static_cast<std::uint32_t>(pkt.payload.size()), /*is_write=*/true);
   if (!region) {
     ++counters_.rdma_rejected;
+    retire_.rdma_rejected->inc();
     return;
   }
   auto& buffer = memory_[pkt.reth->rkey];
@@ -512,6 +545,7 @@ void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {
             buffer.begin() + static_cast<long>(offset));
   ++counters_.rdma_writes_applied;
   ++counters_.delivered;
+  retire_.delivered->inc();
   if (probe_) probe_(pkt);
 }
 

@@ -25,6 +25,7 @@
 #include "fabric/topology.h"
 #include "ib/keys.h"
 #include "ib/packet.h"
+#include "obs/registry.h"
 #include "transport/mad.h"
 #include "transport/pki.h"
 #include "transport/qp.h"
@@ -250,6 +251,27 @@ class ChannelAdapter {
   std::unordered_map<std::uint32_t, std::uint32_t> port_attributes_;
   Counters counters_;
   std::uint64_t next_message_id_ = 1;
+
+  // Retire counters under "ca.<node>.retired.<cause>": every packet the HCA
+  // hands up is retired by exactly one of these, so per-node conservation
+  // (hca.received == Σ retired.*) holds by construction. "delivered" covers
+  // SENDs reaching a QP, applied RDMA WRITEs, and served RDMA READ requests.
+  struct RetireObs {
+    obs::Counter* vcrc = nullptr;
+    obs::Counter* mad = nullptr;
+    obs::Counter* pkey_violation = nullptr;
+    obs::Counter* auth_missing = nullptr;
+    obs::Counter* auth_rejected = nullptr;
+    obs::Counter* icrc_error = nullptr;
+    obs::Counter* rdma_rejected = nullptr;
+    obs::Counter* rdma_nak = nullptr;
+    obs::Counter* rdma_read_response = nullptr;
+    obs::Counter* ack = nullptr;
+    obs::Counter* no_dest_qp = nullptr;
+    obs::Counter* qkey_violation = nullptr;
+    obs::Counter* delivered = nullptr;
+  };
+  RetireObs retire_;
 };
 
 }  // namespace ibsec::transport

@@ -14,11 +14,18 @@ SubnetManager::SubnetManager(fabric::Fabric& fabric,
   }
   cas_.at(static_cast<std::size_t>(sm_node_))
       ->add_mad_handler([this](const Mad& mad) { return handle_mad(mad); });
+  auto& reg = fabric_.simulator().obs();
+  obs_traps_ = &reg.counter("sm.traps_received");
+  obs_sif_installs_ = &reg.counter("sm.sif_installs");
+  obs_partitions_ = &reg.counter("sm.partitions_created");
+  obs_secrets_ = &reg.counter("sm.secrets_distributed");
+  obs_program_delay_ = &reg.time_accumulator("sm.sif.program_delay");
 }
 
 void SubnetManager::create_partition(ib::PKeyValue pkey,
                                      const std::vector<int>& members) {
   partitions_[pkey] = members;
+  obs_partitions_->inc();
   for (int node : members) {
     cas_.at(static_cast<std::size_t>(node))->partition_table().add(pkey);
   }
@@ -85,6 +92,7 @@ void SubnetManager::distribute_partition_secret(ib::PKeyValue pkey,
   const auto it = partitions_.find(pkey);
   if (it == partitions_.end()) return;
   const std::vector<std::uint8_t> secret = drbg_.generate(16);
+  obs_secrets_->inc();
   ChannelAdapter& sm_ca = *cas_.at(static_cast<std::size_t>(sm_node_));
   for (int member : it->second) {
     const auto wrapped = sm_ca.wrap_for(member, secret);
@@ -108,6 +116,7 @@ void SubnetManager::distribute_partition_secret(ib::PKeyValue pkey,
 bool SubnetManager::handle_mad(const Mad& mad) {
   if (mad.type != MadType::kTrapPKeyViolation) return false;
   ++traps_received_;
+  obs_traps_->inc();
   const int offender = fabric_.node_of_lid(static_cast<ib::Lid>(mad.value));
   if (offender < 0 || offender >= fabric_.node_count()) return true;
   arm_sif(offender, mad.pkey);
@@ -119,6 +128,8 @@ void SubnetManager::arm_sif(int offender_node, ib::PKeyValue pkey) {
   fabric::Switch& sw = fabric_.ingress_switch_of(offender_node);
   const int port = fabric_.ingress_port_of(offender_node);
   ++sif_installs_;
+  obs_sif_installs_->inc();
+  obs_program_delay_->add(fabric_.config().sm_program_delay);
   // The SM -> switch programming SMP takes a configurable delay; during this
   // window attack traffic still crosses the fabric (the effect Figure 5
   // shows at low loads).

@@ -73,6 +73,13 @@ class SubnetManager {
   std::map<int, ib::MKeyValue> m_keys_;
   std::uint64_t traps_received_ = 0;
   std::uint64_t sif_installs_ = 0;
+  // "sm.*" registry handles; program_delay accumulates the trap-to-armed
+  // SMP latency the SIF reaction time depends on.
+  obs::Counter* obs_traps_ = nullptr;
+  obs::Counter* obs_sif_installs_ = nullptr;
+  obs::Counter* obs_partitions_ = nullptr;
+  obs::Counter* obs_secrets_ = nullptr;
+  obs::TimeAccumulator* obs_program_delay_ = nullptr;
 };
 
 }  // namespace ibsec::transport

@@ -4,6 +4,8 @@ namespace ibsec::workload {
 
 Attacker::Attacker(transport::ChannelAdapter& ca, Params params, Rng rng)
     : ca_(ca), params_(std::move(params)), rng_(rng) {
+  obs_injected_ =
+      &ca_.fabric().simulator().obs().counter("attack.packets_injected");
   const auto& cfg = ca_.fabric().config();
   const std::int64_t wire_bytes =
       static_cast<std::int64_t>(cfg.mtu_bytes) + 34;
@@ -92,6 +94,7 @@ void Attacker::flood_tick() {
     pkt.finalize();
     ca_.inject_raw(std::move(pkt));
     ++injected_;
+    obs_injected_->inc();
   }
 
   fabric.simulator().after(injection_interval_, [this] { flood_tick(); });

@@ -61,6 +61,7 @@ class Attacker {
   transport::ChannelAdapter& ca_;
   Params params_;
   Rng rng_;
+  obs::Counter* obs_injected_ = nullptr;  // "attack.packets_injected"
   bool stopped_ = false;
   bool active_ = false;
   bool chain_running_ = false;

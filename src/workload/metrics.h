@@ -32,8 +32,7 @@ struct ClassMetrics {
     queuing_us.merge(other.queuing_us);
     latency_us.merge(other.latency_us);
     total_us.merge(other.total_us);
-    // Histograms are not merged (fixed buckets would permit it, but no
-    // caller aggregates across scenarios today).
+    total_hist.merge(other.total_hist);  // identical layout by construction
   }
 };
 

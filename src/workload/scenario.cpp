@@ -238,6 +238,22 @@ ScenarioResult Scenario::run() {
   }
   result.sm_traps_received = sm_->traps_received();
   result.sif_installs = sm_->sif_installs();
+
+  // Export the workload-level aggregates as gauges so one snapshot carries
+  // the whole experiment, then freeze the registry into the result.
+  auto& reg = sim.obs();
+  const auto export_class = [&reg](const std::string& prefix,
+                                   const ClassMetrics& m) {
+    reg.gauge(prefix + "delivered")
+        .set(static_cast<std::int64_t>(m.total_us.count()));
+    reg.gauge(prefix + "total_us_mean_x1000")
+        .set(static_cast<std::int64_t>(m.total_us.mean() * 1000.0));
+    reg.gauge(prefix + "total_us_p99_x1000")
+        .set(static_cast<std::int64_t>(m.total_p99() * 1000.0));
+  };
+  export_class("workload.realtime.", result.realtime);
+  export_class("workload.best_effort.", result.best_effort);
+  result.obs = reg.snapshot();
   return result;
 }
 

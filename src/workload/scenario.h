@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "obs/registry.h"
 #include "security/auth_engine.h"
 #include "security/partition_key_manager.h"
 #include "security/qp_key_manager.h"
@@ -79,6 +80,12 @@ struct ScenarioResult {
   std::uint64_t auth_rejected = 0;
   std::uint64_t forwarded = 0;
   std::uint64_t rate_limited = 0;
+
+  /// Full registry snapshot at the end of the measurement window — every
+  /// instrumented component ("switch.*", "link.*", "hca.*", "ca.*",
+  /// "auth.*", "sm.*", "attack.*", "workload.*") in one flat map, ready for
+  /// to_json()/to_csv().
+  obs::Snapshot obs;
 };
 
 class Scenario {

@@ -1,0 +1,69 @@
+// Determinism regression: identical (topology, seed) must produce
+// byte-identical metric snapshots — across repeated runs and across
+// ThreadPool worker counts. Any global state, wall-clock dependence, or
+// scheduling-sensitive counter breaks these.
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+
+namespace ibsec::workload {
+namespace {
+
+using time_literals::kMicrosecond;
+
+ScenarioConfig config_variant(int i) {
+  ScenarioConfig cfg;
+  cfg.seed = 21 + static_cast<std::uint64_t>(i);
+  cfg.warmup = 50 * kMicrosecond;
+  cfg.duration = 300 * kMicrosecond;
+  switch (i % 3) {
+    case 0:
+      cfg.num_attackers = 2;
+      cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+      break;
+    case 1:
+      cfg.num_attackers = 1;
+      cfg.fabric.filter_mode = fabric::FilterMode::kIf;
+      break;
+    default:
+      break;  // baseline
+  }
+  return cfg;
+}
+
+TEST(Determinism, SameSeedSameSnapshotJson) {
+  ScenarioConfig cfg = config_variant(0);
+  Scenario first(cfg);
+  Scenario second(cfg);
+  const ScenarioResult a = first.run();
+  const ScenarioResult b = second.run();
+  ASSERT_FALSE(a.obs.values.empty());
+  EXPECT_EQ(a.obs, b.obs);
+  EXPECT_EQ(a.obs.to_json(), b.obs.to_json());
+  EXPECT_EQ(a.obs.to_csv(), b.obs.to_csv());
+}
+
+TEST(Determinism, DifferentSeedsDifferentSnapshots) {
+  ScenarioConfig cfg = config_variant(0);
+  Scenario first(cfg);
+  cfg.seed += 1;
+  Scenario second(cfg);
+  EXPECT_NE(first.run().obs, second.run().obs);
+}
+
+TEST(Determinism, SweepWorkerCountInvariant) {
+  std::vector<ScenarioConfig> configs;
+  for (int i = 0; i < 4; ++i) configs.push_back(config_variant(i));
+
+  const auto serial = run_sweep(configs, 1);
+  const auto parallel = run_sweep(configs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FALSE(serial[i].obs.values.empty()) << "config " << i;
+    EXPECT_EQ(serial[i].obs.to_json(), parallel[i].obs.to_json())
+        << "config " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ibsec::workload

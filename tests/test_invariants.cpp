@@ -1,0 +1,198 @@
+// Packet-conservation invariants over the observability layer.
+//
+// Every packet an HCA injects must be accounted for exactly once when the
+// fabric drains: dropped by a switch (with a cause) or retired by the
+// destination CA (with a cause). The invariant is checked fabric-wide and
+// per node for every scenario variant — baseline, DoS flood, and each
+// defense (IF / SIF / DPT / rate limiting / authentication). A leak in any
+// counter, a double-count, or a silently-dropped packet path breaks the
+// equality.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/scenario.h"
+
+namespace ibsec::workload {
+namespace {
+
+using time_literals::kMicrosecond;
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.warmup = 50 * kMicrosecond;
+  cfg.duration = 400 * kMicrosecond;
+  return cfg;
+}
+
+/// Runs the scenario, then drains every in-flight packet (sources and
+/// attackers are stopped, so the event queue empties) and snapshots.
+obs::Snapshot run_and_drain(Scenario& scenario) {
+  scenario.run();
+  scenario.fabric().simulator().run();
+  return scenario.fabric().simulator().obs().snapshot();
+}
+
+void expect_conservation(const obs::Snapshot& snap, int nodes) {
+  const std::int64_t injected = snap.sum_matching("hca.*.injected");
+  const std::int64_t switch_drops = snap.sum_matching("switch.*.drop.*");
+  const std::int64_t received = snap.sum_matching("hca.*.received");
+  const std::int64_t retired = snap.sum_matching("ca.*.retired.*");
+
+  EXPECT_GT(injected, 0);
+  // Fabric-wide: injected packets either died in a switch or reached an HCA.
+  EXPECT_EQ(injected, switch_drops + received);
+  // Every packet an HCA handed up was retired by its CA exactly once.
+  EXPECT_EQ(received, retired);
+  // Per node: the CA retire causes partition the HCA's receive count.
+  for (int n = 0; n < nodes; ++n) {
+    const std::string id = std::to_string(n);
+    EXPECT_EQ(snap.at("hca." + id + ".received"),
+              snap.sum_matching("ca." + id + ".retired.*"))
+        << "node " << n;
+  }
+}
+
+TEST(Conservation, Baseline) {
+  Scenario scenario(base_config());
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  EXPECT_EQ(snap.at("attack.packets_injected"), 0);
+  EXPECT_EQ(snap.sum_matching("switch.*.drop.pkey_mismatch"), 0);
+  EXPECT_EQ(snap.sum_matching("ca.*.retired.pkey_violation"), 0);
+  EXPECT_EQ(snap.sum_matching("switch.*.filter.sif.activations"), 0);
+  EXPECT_GT(snap.sum_matching("ca.*.retired.delivered"), 0);
+}
+
+TEST(Conservation, DosFloodNoFiltering) {
+  ScenarioConfig cfg = base_config();
+  cfg.num_attackers = 2;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  EXPECT_GT(snap.at("attack.packets_injected"), 0);
+  // No switch enforcement: every flood packet crosses the fabric and dies
+  // at the destination CA's partition check, trapping to the SM.
+  EXPECT_EQ(snap.sum_matching("switch.*.drop.pkey_mismatch"), 0);
+  EXPECT_GT(snap.sum_matching("ca.*.retired.pkey_violation"), 0);
+  EXPECT_GT(snap.at("sm.traps_received"), 0);
+  EXPECT_EQ(snap.sum_matching("switch.*.filter.sif.activations"), 0);
+}
+
+TEST(Conservation, IngressFiltering) {
+  ScenarioConfig cfg = base_config();
+  cfg.num_attackers = 2;
+  cfg.fabric.filter_mode = fabric::FilterMode::kIf;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  // IF kills the flood at the attacker's ingress port: nothing reaches an
+  // end node with a bad P_Key and SIF never arms.
+  EXPECT_GT(snap.sum_matching("switch.*.drop.pkey_mismatch"), 0);
+  EXPECT_EQ(snap.sum_matching("ca.*.retired.pkey_violation"), 0);
+  EXPECT_EQ(snap.sum_matching("switch.*.filter.sif.activations"), 0);
+}
+
+TEST(Conservation, StatefulIngressFiltering) {
+  ScenarioConfig cfg = base_config();
+  cfg.num_attackers = 2;
+  cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  // The SIF control loop: early packets leak to victims, victims trap, the
+  // SM arms the ingress filter, later packets drop at the switch.
+  EXPECT_GT(snap.sum_matching("ca.*.retired.pkey_violation"), 0);
+  EXPECT_GT(snap.at("sm.traps_received"), 0);
+  EXPECT_GT(snap.at("sm.sif_installs"), 0);
+  EXPECT_GT(snap.sum_matching("switch.*.filter.sif.activations"), 0);
+  EXPECT_GT(snap.sum_matching("switch.*.drop.pkey_mismatch"), 0);
+}
+
+TEST(Conservation, DistributedPartitionTables) {
+  ScenarioConfig cfg = base_config();
+  cfg.num_attackers = 2;
+  cfg.fabric.filter_mode = fabric::FilterMode::kDpt;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  EXPECT_GT(snap.sum_matching("switch.*.drop.pkey_mismatch"), 0);
+  EXPECT_EQ(snap.sum_matching("ca.*.retired.pkey_violation"), 0);
+}
+
+TEST(Conservation, ValidPkeyFloodWithRateLimit) {
+  ScenarioConfig cfg = base_config();
+  cfg.num_attackers = 2;
+  cfg.attack_with_valid_pkey = true;
+  cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+  cfg.fabric.ingress_rate_limit_fraction = 0.3;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  // Valid P_Keys sail through every partition filter; only admission
+  // control bites, and no receiver ever traps.
+  EXPECT_GT(snap.sum_matching("switch.*.drop.rate_limited"), 0);
+  EXPECT_EQ(snap.sum_matching("switch.*.drop.pkey_mismatch"), 0);
+  EXPECT_EQ(snap.at("sm.traps_received"), 0);
+}
+
+TEST(Conservation, AuthenticatedPartitionKeys) {
+  ScenarioConfig cfg = base_config();
+  cfg.key_management = KeyManagement::kPartitionLevel;
+  cfg.auth_enabled = true;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  EXPECT_GT(snap.at("auth.signed"), 0);
+  EXPECT_GT(snap.at("auth.verify_ok"), 0);
+  EXPECT_GT(snap.at("sm.secrets_distributed"), 0);
+  EXPECT_GT(snap.sum_matching("ca.*.retired.delivered"), 0);
+}
+
+TEST(Conservation, AuthenticatedQpKeysWithReplayProtection) {
+  ScenarioConfig cfg = base_config();
+  cfg.key_management = KeyManagement::kQpLevel;
+  cfg.auth_enabled = true;
+  cfg.replay_protection = true;
+  cfg.num_attackers = 1;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  EXPECT_GT(snap.at("auth.signed"), 0);
+  EXPECT_GT(snap.at("auth.verify_ok"), 0);
+}
+
+TEST(Conservation, SnapshotAgreesWithLegacyCounters) {
+  // The registry view and the pre-existing struct counters must describe
+  // the same events.
+  ScenarioConfig cfg = base_config();
+  cfg.num_attackers = 2;
+  cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+  Scenario scenario(cfg);
+  const ScenarioResult result = scenario.run();
+
+  EXPECT_EQ(result.obs.at("attack.packets_injected"),
+            static_cast<std::int64_t>(result.attack_packets));
+  EXPECT_EQ(result.obs.at("sm.traps_received"),
+            static_cast<std::int64_t>(result.sm_traps_received));
+  EXPECT_EQ(result.obs.at("sm.sif_installs"),
+            static_cast<std::int64_t>(result.sif_installs));
+  EXPECT_EQ(result.obs.sum_matching("switch.*.filter.drops"),
+            static_cast<std::int64_t>(result.switch_filter_drops));
+  EXPECT_EQ(result.obs.sum_matching("switch.*.forwarded"),
+            static_cast<std::int64_t>(result.forwarded));
+  EXPECT_EQ(result.obs.at("workload.realtime.delivered"),
+            static_cast<std::int64_t>(result.realtime.total_us.count()));
+}
+
+}  // namespace
+}  // namespace ibsec::workload

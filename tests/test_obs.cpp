@@ -1,0 +1,185 @@
+// Observability registry: handle semantics, kind collisions, snapshot
+// flattening, JSON/CSV export, wildcard queries, and cold-start behavior.
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+#include "workload/scenario.h"
+
+namespace ibsec::obs {
+namespace {
+
+TEST(Counter, IncrementsByAmount) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksHighWater) {
+  Gauge g;
+  g.set(10);
+  g.set(3);
+  g.add(4);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(g.high_water(), 10);
+}
+
+TEST(TimeAccumulator, SumsDurations) {
+  TimeAccumulator t;
+  t.add(100);
+  t.add(250);
+  EXPECT_EQ(t.total(), 350);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(Registry, SameNameSameKindSharesMetric) {
+  Registry reg;
+  Counter& a = reg.counter("auth.verify_ok");
+  Counter& b = reg.counter("auth.verify_ok");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.snapshot().at("auth.verify_ok"), 2);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, KindCollisionReturnsSinkAndIsExported) {
+  Registry reg;
+  Counter& real = reg.counter("switch.0.forwarded");
+  real.inc(5);
+
+  // Re-resolving under a different kind must not disturb the original.
+  Gauge& sink = reg.gauge("switch.0.forwarded");
+  sink.set(999);
+  EXPECT_EQ(reg.kind_collisions(), 1u);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.at("switch.0.forwarded"), 5);
+  EXPECT_FALSE(snap.contains("switch.0.forwarded.hwm"));  // sink not exported
+  EXPECT_EQ(snap.at("obs.kind_collisions"), 1);
+}
+
+TEST(Registry, DisabledRegistryExportsNothing) {
+  Registry reg;
+  reg.set_enabled(false);
+  reg.counter("a").inc(100);
+  reg.gauge("b").set(7);
+  reg.time_accumulator("c").add(55);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_TRUE(reg.snapshot().values.empty());
+}
+
+TEST(Registry, SnapshotFlattensEveryKind) {
+  Registry reg;
+  reg.counter("n.count").inc(3);
+  reg.gauge("n.depth").set(12);
+  reg.time_accumulator("n.stall").add(500);
+  reg.time_accumulator("n.stall").add(700);
+  Histogram& h = reg.histogram("n.lat", 100.0, 10);
+  h.add(10.0);
+  h.add(20.0);
+  h.add(500.0);  // overflow
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.at("n.count"), 3);
+  EXPECT_EQ(snap.at("n.depth"), 12);
+  EXPECT_EQ(snap.at("n.depth.hwm"), 12);
+  EXPECT_EQ(snap.at("n.stall.total_ps"), 1200);
+  EXPECT_EQ(snap.at("n.stall.count"), 2);
+  EXPECT_EQ(snap.at("n.lat.count"), 3);
+  EXPECT_EQ(snap.at("n.lat.overflow"), 1);
+  EXPECT_GT(snap.at("n.lat.p50_x1000"), 0);
+}
+
+TEST(Registry, SnapshotIsolatedFromLaterUpdates) {
+  Registry reg;
+  Counter& c = reg.counter("x");
+  c.inc();
+  const Snapshot before = reg.snapshot();
+  c.inc(10);
+  const Snapshot after = reg.snapshot();
+  EXPECT_EQ(before.at("x"), 1);
+  EXPECT_EQ(after.at("x"), 11);
+  EXPECT_NE(before, after);
+}
+
+TEST(Snapshot, JsonRoundTrip) {
+  Registry reg;
+  reg.counter("switch.3.drop.pkey_mismatch").inc(17);
+  reg.counter("sm.traps_received").inc(4);
+  reg.gauge("vl.occupancy").set(-2);  // negative values survive the trip
+
+  const Snapshot original = reg.snapshot();
+  const auto parsed = Snapshot::from_json(original.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(Snapshot, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(Snapshot::from_json("").has_value());
+  EXPECT_FALSE(Snapshot::from_json("not json").has_value());
+  EXPECT_FALSE(Snapshot::from_json("{\"a\": }").has_value());
+  EXPECT_FALSE(Snapshot::from_json("{\"a\": 1").has_value());
+}
+
+TEST(Snapshot, EmptyJsonObjectRoundTrips) {
+  Registry reg;
+  const Snapshot empty = reg.snapshot();
+  const auto parsed = Snapshot::from_json(empty.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->values.empty());
+}
+
+TEST(Snapshot, CsvHasHeaderAndSortedRows) {
+  Registry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  EXPECT_EQ(reg.snapshot().to_csv(), "name,value\na,1\nb,2\n");
+}
+
+TEST(Snapshot, WildcardQueries) {
+  Registry reg;
+  reg.counter("switch.0.drop.pkey_mismatch").inc(3);
+  reg.counter("switch.1.drop.pkey_mismatch").inc(4);
+  reg.counter("switch.1.drop.no_route").inc(9);
+  reg.counter("switch.1.forwarded").inc(100);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.sum_matching("switch.*.drop.pkey_mismatch"), 7);
+  EXPECT_EQ(snap.sum_matching("switch.*.drop.*"), 16);
+  EXPECT_EQ(snap.count_matching("switch.1.*"), 3u);
+  EXPECT_EQ(snap.sum_matching("hca.*"), 0);
+}
+
+TEST(GlobMatch, Basics) {
+  EXPECT_TRUE(glob_match("a.*.c", "a.b.c"));
+  EXPECT_TRUE(glob_match("a.*.c", "a.x.y.c"));  // '*' spans dots
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("a.b", "a.b"));
+  EXPECT_FALSE(glob_match("a.b", "a.b.c"));
+  EXPECT_FALSE(glob_match("a.*.c", "a.b.d"));
+  EXPECT_TRUE(glob_match("*.end", "start.middle.end"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+}
+
+TEST(ColdScenario, RegistersMetricsButCountsNothing) {
+  // Building the full testbed without running it must leave every counter
+  // at zero while the names are already registered.
+  workload::ScenarioConfig cfg;
+  cfg.seed = 5;
+  workload::Scenario scenario(cfg);
+  const Snapshot snap = scenario.fabric().simulator().obs().snapshot();
+
+  EXPECT_GT(snap.count_matching("switch.*"), 0u);
+  EXPECT_GT(snap.count_matching("hca.*"), 0u);
+  EXPECT_GT(snap.count_matching("ca.*"), 0u);
+  EXPECT_EQ(snap.sum_matching("hca.*.injected"), 0);
+  EXPECT_EQ(snap.sum_matching("switch.*.drop.*"), 0);
+  EXPECT_EQ(snap.sum_matching("ca.*.retired.*"), 0);
+  EXPECT_EQ(snap.sum_matching("attack.*"), 0);
+}
+
+}  // namespace
+}  // namespace ibsec::obs

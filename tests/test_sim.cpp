@@ -1,6 +1,10 @@
 // Discrete-event kernel: ordering, FIFO tie-breaking, clock semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
 #include "sim/simulator.h"
 
 namespace ibsec::sim {
@@ -38,6 +42,70 @@ TEST(EventQueue, NextTimeReflectsEarliest) {
   q.schedule(50, [] {});
   EXPECT_EQ(q.next_time(), 50);
   EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, PopOrderStress) {
+  // Thousands of events with heavy time collisions: pops must come out in
+  // nondecreasing time order, FIFO within each tie, with nothing lost.
+  EventQueue q;
+  Rng rng(0xC0FFEE);
+  constexpr int kEvents = 5000;
+  std::vector<std::pair<SimTime, int>> expected;  // (time, arrival rank)
+  for (int i = 0; i < kEvents; ++i) {
+    const auto t = static_cast<SimTime>(rng.uniform(64));  // many ties
+    expected.emplace_back(t, i);
+    q.schedule(t, [] {});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  SimTime prev = -1;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    SimTime t;
+    auto fn = q.pop(t);
+    ASSERT_TRUE(fn != nullptr);
+    ASSERT_GE(t, prev);
+    ASSERT_EQ(t, expected[popped].first);
+    prev = t;
+    ++popped;
+  }
+  EXPECT_EQ(popped, static_cast<std::size_t>(kEvents));
+}
+
+TEST(EventQueue, PopOrderStressInterleavedWithPops) {
+  // Mixed schedule/pop traffic (the pattern the simulator actually drives):
+  // alternate bursts of pushes with partial drains.
+  EventQueue q;
+  Rng rng(42);
+  SimTime prev = -1;
+  std::size_t scheduled = 0, popped = 0;
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t pushes = 20 + rng.uniform(80);
+    for (std::uint64_t i = 0; i < pushes; ++i) {
+      // Only schedule at/after the last popped time, as the simulator does.
+      q.schedule(prev < 0 ? static_cast<SimTime>(rng.uniform(1000))
+                          : prev + static_cast<SimTime>(rng.uniform(1000)),
+                 [] {});
+      ++scheduled;
+    }
+    const std::uint64_t drains = rng.uniform(pushes);
+    for (std::uint64_t i = 0; i < drains && !q.empty(); ++i) {
+      SimTime t;
+      q.pop(t);
+      ASSERT_GE(t, prev);
+      prev = t;
+      ++popped;
+    }
+  }
+  while (!q.empty()) {
+    SimTime t;
+    q.pop(t);
+    ASSERT_GE(t, prev);
+    prev = t;
+    ++popped;
+  }
+  EXPECT_EQ(popped, scheduled);
 }
 
 TEST(Simulator, ClockAdvancesToEventTime) {

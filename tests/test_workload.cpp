@@ -53,6 +53,54 @@ TEST(MetricsCollector, ClassifiesAndExcludes) {
   EXPECT_EQ(mc.best_effort().queuing_us.count(), 1u);
 }
 
+TEST(ClassMetrics, MergeCombinesHistograms) {
+  ClassMetrics a;
+  ClassMetrics b;
+  a.total_us.add(10.0);
+  a.total_hist.add(10.0);
+  b.total_us.add(30.0);
+  b.total_hist.add(30.0);
+  b.total_us.add(5000.0);  // overflow bucket (upper bound is 4000 us)
+  b.total_hist.add(5000.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.total_us.count(), 3u);
+  EXPECT_EQ(a.total_hist.total(), 3u);
+  EXPECT_EQ(a.total_hist.overflow(), 1u);
+  // Percentiles now reflect both inputs: the median sits between 10 and 30.
+  EXPECT_GT(a.total_p50(), 10.0);
+  EXPECT_LT(a.total_p50(), 31.0);
+}
+
+TEST(ClassMetrics, MergeMatchesSingleCollector) {
+  // Splitting a sample stream across two collectors and merging must give
+  // the same histogram as one collector seeing everything.
+  ClassMetrics whole;
+  ClassMetrics left;
+  ClassMetrics right;
+  for (int i = 0; i < 1000; ++i) {
+    const double sample = static_cast<double>((i * 37) % 4500);
+    whole.total_hist.add(sample);
+    (i % 2 ? left : right).total_hist.add(sample);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.total_hist.total(), whole.total_hist.total());
+  EXPECT_EQ(left.total_hist.overflow(), whole.total_hist.overflow());
+  for (int i = 0; i < whole.total_hist.buckets(); ++i) {
+    ASSERT_EQ(left.total_hist.bucket_count(i), whole.total_hist.bucket_count(i));
+  }
+  EXPECT_DOUBLE_EQ(left.total_p99(), whole.total_p99());
+}
+
+TEST(HistogramMerge, ShapeMismatchRejected) {
+  Histogram a(100.0, 10);
+  Histogram b(100.0, 20);
+  a.add(5.0);
+  b.add(5.0);
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_EQ(a.total(), 1u);  // untouched on rejection
+}
+
 TEST(Scenario, DeterministicForSameSeed) {
   auto run_once = [] {
     ScenarioConfig cfg = base_config();
