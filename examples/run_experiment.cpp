@@ -38,6 +38,11 @@ void usage(const char* prog) {
       "  --partitions N       number of random partitions (default 4)\n"
       "  --rate-limit F       ingress admission cap fraction, 0 = off\n"
       "  --valid-pkey-attack  attackers flood with their own valid P_Key\n"
+      "  --faults SPEC        deterministic fault campaign, e.g.\n"
+      "                       'seed=42;drop=0.01;corrupt=0.005;"
+      "link=sw1.out3:drop=0.5;flap=sw1.out3:100us-300us;dead-switch=5'\n"
+      "  --rc-load F          RC message load fraction; enables the RC\n"
+      "                       reliability protocol and streams (default off)\n"
       "  --trace FILE         write a per-packet CSV trace\n"
       "  --metrics FILE       dump the metrics snapshot (.json = JSON, else CSV)\n",
       prog);
@@ -127,6 +132,18 @@ int main(int argc, char** argv) {
       cfg.fabric.ingress_rate_limit_fraction = value;
     } else if (arg == "--valid-pkey-attack") {
       cfg.attack_with_valid_pkey = true;
+    } else if (arg == "--faults") {
+      const char* spec = next();
+      const auto campaign = fabric::FaultCampaign::parse(spec);
+      if (!campaign) {
+        std::fprintf(stderr, "bad --faults spec: %s\n", spec);
+        return 2;
+      }
+      cfg.fabric.fault_campaign = *campaign;
+    } else if (arg == "--rc-load" && parse_double(next(), value)) {
+      cfg.rc_load = value;
+      cfg.enable_rc_messages = value > 0;
+      cfg.rc.enabled = value > 0;
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--metrics") {
@@ -149,6 +166,16 @@ int main(int argc, char** argv) {
                          ? "partition"
                          : "qp"),
               std::string(crypto::to_string(cfg.auth_alg)).c_str());
+  if (cfg.fabric.fault_campaign.enabled()) {
+    std::printf("faults: %s\n", cfg.fabric.fault_campaign.describe().c_str());
+  }
+  if (cfg.enable_rc_messages) {
+    std::printf("rc: load=%.2f timeout=%lld us retries=%d window=%zu\n",
+                cfg.rc_load,
+                static_cast<long long>(cfg.rc.retransmit_timeout /
+                                       time_literals::kMicrosecond),
+                cfg.rc.max_retries, cfg.rc.max_outstanding);
+  }
 
   workload::Scenario scenario(cfg);
   workload::PacketTraceRecorder trace;
@@ -204,6 +231,18 @@ int main(int argc, char** argv) {
   std::printf("delivered         %llu (auth rejected %llu)\n",
               static_cast<unsigned long long>(r.delivered),
               static_cast<unsigned long long>(r.auth_rejected));
+  if (cfg.fabric.fault_campaign.enabled() || cfg.enable_rc_messages) {
+    const auto sum = [&r](const char* pattern) {
+      return static_cast<unsigned long long>(r.obs.sum_matching(pattern));
+    };
+    std::printf("link fault drops  %llu (flap %llu, corrupted %llu)\n",
+                sum("link.*.faults.dropped"), sum("link.*.faults.flap_dropped"),
+                sum("link.*.faults.corrupted"));
+    std::printf("rc retransmits    %llu (acks %llu, naks %llu, "
+                "retry exhausted %llu)\n",
+                sum("ca.*.rc.retransmits"), sum("ca.*.rc.acks"),
+                sum("ca.*.rc.naks"), sum("ca.*.rc.retry_exhausted"));
+  }
   std::printf("max link util     %.1f%%\n",
               100.0 * scenario.fabric().max_link_utilization());
   return 0;

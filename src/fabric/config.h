@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/time.h"
+#include "fabric/fault.h"
 #include "fabric/vl_arbiter.h"
 #include "ib/types.h"
 
@@ -34,12 +35,13 @@ struct LinkParams {
   /// VlArbitrationConfig::paper_default.
   std::optional<VlArbitrationConfig> arbitration;
 
-  /// Fault injection: probability that a transmitted packet suffers a
-  /// random single-byte corruption on the wire (0 = perfect links). The
-  /// VCRC catches it at the next hop (or the end node) — exercised by the
-  /// failure-injection tests.
-  double corruption_rate = 0.0;
-  std::uint64_t corruption_seed = 0xFA017;
+  /// Fault injection applied to every link built with these params (per-link
+  /// overrides come from FabricConfig::fault_campaign). Drops vanish on the
+  /// wire; corruption leaves a stale VCRC for the next hop to catch.
+  FaultProfile faults;
+  /// Seed for the per-port fault RNG streams (each port decorrelates by
+  /// hashing its name into this).
+  std::uint64_t fault_seed = 0xFA017;
 };
 
 struct FabricConfig {
@@ -59,6 +61,11 @@ struct FabricConfig {
   int filter_lookup_cycles = 1;
 
   FilterMode filter_mode = FilterMode::kNone;
+
+  /// Deterministic fault plan: the default profile and seed are copied into
+  /// `link` before the fabric is built; per-link overrides and dead switches
+  /// are applied to the constructed topology.
+  FaultCampaign fault_campaign;
 
   /// Ingress (HCA-facing) port admission cap as a fraction of link
   /// bandwidth; 0 disables. The defence against valid-P_Key floods that

@@ -1,0 +1,119 @@
+#include "fabric/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibsec::fabric {
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (!s.empty()) {
+    const std::size_t at = s.find(sep);
+    out.push_back(s.substr(0, at));
+    if (at == std::string_view::npos) break;
+    s.remove_prefix(at + 1);
+  }
+  return out;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const std::string str(s);
+  char* end = nullptr;
+  out = std::strtod(str.c_str(), &end);
+  return end != str.c_str() && *end == '\0';
+}
+
+/// Parses "123us" (or a bare number, read as microseconds) into picoseconds.
+bool parse_time_us(std::string_view s, SimTime& out) {
+  if (s.size() >= 2 && s.substr(s.size() - 2) == "us") {
+    s.remove_suffix(2);
+  }
+  double us = 0;
+  if (!parse_double(s, us) || us < 0) return false;
+  out = static_cast<SimTime>(us * 1e6);  // us -> ps
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultCampaign> FaultCampaign::parse(std::string_view spec) {
+  FaultCampaign campaign;
+  for (std::string_view entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = entry.substr(0, eq);
+    const std::string_view value = entry.substr(eq + 1);
+    double rate = 0;
+    if (key == "seed") {
+      campaign.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "drop" && parse_double(value, rate)) {
+      campaign.default_profile.drop_rate = rate;
+    } else if (key == "corrupt" && parse_double(value, rate)) {
+      campaign.default_profile.corruption_rate = rate;
+    } else if (key == "dead-switch") {
+      campaign.dead_switches.push_back(
+          std::atoi(std::string(value).c_str()));
+    } else if (key == "link") {
+      // link=<name>:<subkey>=<rate>[,<subkey>=<rate>...]
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) return std::nullopt;
+      const std::string name(value.substr(0, colon));
+      auto [it, inserted] =
+          campaign.link_overrides.try_emplace(name,
+                                              campaign.default_profile);
+      (void)inserted;
+      for (std::string_view sub : split(value.substr(colon + 1), ',')) {
+        const std::size_t sub_eq = sub.find('=');
+        if (sub_eq == std::string_view::npos) return std::nullopt;
+        if (!parse_double(sub.substr(sub_eq + 1), rate)) return std::nullopt;
+        if (sub.substr(0, sub_eq) == "drop") {
+          it->second.drop_rate = rate;
+        } else if (sub.substr(0, sub_eq) == "corrupt") {
+          it->second.corruption_rate = rate;
+        } else {
+          return std::nullopt;
+        }
+      }
+    } else if (key == "flap") {
+      // flap=<name>:<down>us-<up>us   (empty <up> = down forever)
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) return std::nullopt;
+      const std::string name(value.substr(0, colon));
+      const std::string_view window = value.substr(colon + 1);
+      const std::size_t dash = window.find('-');
+      if (dash == std::string_view::npos) return std::nullopt;
+      LinkFlap flap;
+      if (!parse_time_us(window.substr(0, dash), flap.down_at)) {
+        return std::nullopt;
+      }
+      const std::string_view up = window.substr(dash + 1);
+      if (up.empty()) {
+        flap.up_at = -1;
+      } else if (!parse_time_us(up, flap.up_at)) {
+        return std::nullopt;
+      }
+      campaign.link_overrides
+          .try_emplace(name, campaign.default_profile)
+          .first->second.flaps.push_back(flap);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return campaign;
+}
+
+std::string FaultCampaign::describe() const {
+  if (!enabled()) return "faults=off";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "faults seed=%llu drop=%.4f corrupt=%.4f overrides=%zu "
+                "dead_switches=%zu",
+                static_cast<unsigned long long>(seed),
+                default_profile.drop_rate, default_profile.corruption_rate,
+                link_overrides.size(), dead_switches.size());
+  return buf;
+}
+
+}  // namespace ibsec::fabric

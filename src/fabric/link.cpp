@@ -31,15 +31,18 @@ OutputPort::OutputPort(sim::Simulator& simulator, const LinkParams& params,
       arbiter_(params.arbitration
                    ? *params.arbitration
                    : VlArbitrationConfig::paper_default(params.num_vls)),
+      faults_(params.faults),
       // Per-port fault stream: deterministic, decorrelated across ports by
       // hashing the port name into the seed.
-      fault_rng_(params.corruption_seed ^
+      fault_rng_(params.fault_seed ^
                  std::hash<std::string>{}(name_)) {
   auto& reg = simulator.obs();
   const std::string prefix = "link." + name_ + ".";
   obs_packets_ = &reg.counter(prefix + "packets");
   obs_bytes_ = &reg.counter(prefix + "bytes");
-  obs_corrupted_ = &reg.counter(prefix + "corrupted");
+  obs_corrupted_ = &reg.counter(prefix + "faults.corrupted");
+  obs_dropped_ = &reg.counter(prefix + "faults.dropped");
+  obs_flap_dropped_ = &reg.counter(prefix + "faults.flap_dropped");
   obs_credit_stall_ = &reg.time_accumulator(prefix + "credit_stall");
   obs_vl_dispatched_.assign(static_cast<std::size_t>(params.num_vls), nullptr);
   arbiter_.set_obs(&reg.counter(prefix + "arb.high_grants"),
@@ -97,81 +100,113 @@ int OutputPort::arbitrate() {
 }
 
 void OutputPort::try_dispatch() {
-  if (line_busy_ || peer_ == nullptr) return;
-  const int vl_index = arbitrate();
-  if (vl_index < 0) {
-    // Line free, packets queued, but no VL holds the credits to send: a
-    // credit stall. The span closes at the next successful dispatch.
-    if (stall_since_ < 0 && total_queue_depth() > 0) {
-      stall_since_ = sim_.now();
+  while (true) {
+    if (line_busy_ || peer_ == nullptr) return;
+    const int vl_index = arbitrate();
+    if (vl_index < 0) {
+      // Line free, packets queued, but no VL holds the credits to send: a
+      // credit stall. The span closes at the next successful dispatch.
+      if (stall_since_ < 0 && total_queue_depth() > 0) {
+        stall_since_ = sim_.now();
+      }
+      return;
     }
+    if (stall_since_ >= 0) {
+      obs_credit_stall_->add(sim_.now() - stall_since_);
+      stall_since_ = -1;
+    }
+    const auto vl = static_cast<ib::VirtualLane>(vl_index);
+
+    // A flapped-down (or dead) link silently discards at dispatch: no
+    // credits are consumed (the far buffer never sees the packet) and the
+    // line is not busied — loop for the next queued packet.
+    if (faults_.down_at(sim_.now())) {
+      QueuedPacket entry = std::move(vl_queues_[vl].front());
+      vl_queues_[vl].pop_front();
+      ++packets_flap_dropped_;
+      obs_flap_dropped_->inc();
+      if (entry.on_dispatch) entry.on_dispatch(entry.pkt);
+      continue;
+    }
+
+    obs::Counter*& vl_counter = obs_vl_dispatched_[vl];
+    if (vl_counter == nullptr) {
+      vl_counter = &sim_.obs().counter(
+          "link." + name_ + ".vl." + std::to_string(vl_index) +
+          ".dispatched");
+    }
+    vl_counter->inc();
+
+    QueuedPacket entry = std::move(vl_queues_[vl].front());
+    vl_queues_[vl].pop_front();
+
+    const std::size_t bytes = entry.pkt.wire_size();
+    if (vl != ib::kManagementVl) {
+      assert(credits_[vl] >= bytes);
+      credits_[vl] -= bytes;
+      arbiter_.on_sent(vl, bytes);
+    }
+
+    // First wire entry only — switches re-dispatch the packet at every hop,
+    // but injection time means "left the source HCA".
+    if (entry.pkt.meta.injected_at < 0) {
+      entry.pkt.meta.injected_at = sim_.now();
+    }
+    if (entry.on_dispatch) entry.on_dispatch(entry.pkt);
+
+    const SimTime tx_time = serialization_time_ps(
+        static_cast<std::int64_t>(bytes), params_.bandwidth_bps);
+    line_busy_ = true;
+
+    // Delivery of the last byte at the peer happens after serialization plus
+    // propagation; the line frees after serialization alone.
+    sim_.after(tx_time, [this, bytes, tx_time] {
+      line_busy_ = false;
+      ++packets_sent_;
+      bytes_sent_ += bytes;
+      busy_time_ += tx_time;
+      obs_packets_->inc();
+      obs_bytes_->inc(bytes);
+      try_dispatch();
+    });
+
+    // Random wire loss: the packet serializes but never arrives. The far
+    // buffer never held it, so the mirrored credits come back after the
+    // would-be delivery plus the reverse propagation — otherwise every lost
+    // packet would leak credits and eventually wedge the VL.
+    if (faults_.drop_rate > 0.0 && fault_rng_.bernoulli(faults_.drop_rate)) {
+      ++packets_dropped_;
+      obs_dropped_->inc();
+      if (vl != ib::kManagementVl) {
+        sim_.after(tx_time + 2 * params_.propagation, [this, vl, bytes] {
+          credit_return(vl, bytes);
+        });
+      }
+      return;
+    }
+
+    // Fault injection: flip one random payload/header byte in flight. The
+    // VCRC is left stale, so the next hop's link-layer check catches it.
+    if (faults_.corruption_rate > 0.0 &&
+        fault_rng_.bernoulli(faults_.corruption_rate)) {
+      ++packets_corrupted_;
+      obs_corrupted_->inc();
+      if (!entry.pkt.payload.empty()) {
+        const std::size_t at = fault_rng_.uniform(entry.pkt.payload.size());
+        entry.pkt.payload[at] ^=
+            static_cast<std::uint8_t>(1u << fault_rng_.uniform(8));
+      } else {
+        entry.pkt.bth.psn ^= 1;  // headers are all a headerless packet has
+      }
+    }
+
+    // Move the packet into the delivery event.
+    auto pkt = std::make_shared<ib::Packet>(std::move(entry.pkt));
+    sim_.after(tx_time + params_.propagation, [this, pkt]() mutable {
+      peer_->packet_arrived(std::move(*pkt), peer_port_);
+    });
     return;
   }
-  if (stall_since_ >= 0) {
-    obs_credit_stall_->add(sim_.now() - stall_since_);
-    stall_since_ = -1;
-  }
-  const auto vl = static_cast<ib::VirtualLane>(vl_index);
-  obs::Counter*& vl_counter = obs_vl_dispatched_[vl];
-  if (vl_counter == nullptr) {
-    vl_counter = &sim_.obs().counter("link." + name_ + ".vl." +
-                                     std::to_string(vl_index) + ".dispatched");
-  }
-  vl_counter->inc();
-
-  QueuedPacket entry = std::move(vl_queues_[vl].front());
-  vl_queues_[vl].pop_front();
-
-  const std::size_t bytes = entry.pkt.wire_size();
-  if (vl != ib::kManagementVl) {
-    assert(credits_[vl] >= bytes);
-    credits_[vl] -= bytes;
-    arbiter_.on_sent(vl, bytes);
-  }
-
-  // First wire entry only — switches re-dispatch the packet at every hop,
-  // but injection time means "left the source HCA".
-  if (entry.pkt.meta.injected_at < 0) {
-    entry.pkt.meta.injected_at = sim_.now();
-  }
-  if (entry.on_dispatch) entry.on_dispatch(entry.pkt);
-
-  const SimTime tx_time = serialization_time_ps(
-      static_cast<std::int64_t>(bytes), params_.bandwidth_bps);
-  line_busy_ = true;
-
-  // Delivery of the last byte at the peer happens after serialization plus
-  // propagation; the line frees after serialization alone.
-  sim_.after(tx_time, [this, bytes, tx_time] {
-    line_busy_ = false;
-    ++packets_sent_;
-    bytes_sent_ += bytes;
-    busy_time_ += tx_time;
-    obs_packets_->inc();
-    obs_bytes_->inc(bytes);
-    try_dispatch();
-  });
-
-  // Fault injection: flip one random payload/header byte in flight. The
-  // VCRC is left stale, so the next hop's link-layer check catches it.
-  if (params_.corruption_rate > 0.0 &&
-      fault_rng_.bernoulli(params_.corruption_rate)) {
-    ++packets_corrupted_;
-    obs_corrupted_->inc();
-    if (!entry.pkt.payload.empty()) {
-      const std::size_t at = fault_rng_.uniform(entry.pkt.payload.size());
-      entry.pkt.payload[at] ^=
-          static_cast<std::uint8_t>(1u << fault_rng_.uniform(8));
-    } else {
-      entry.pkt.bth.psn ^= 1;  // headers are all a headerless packet has
-    }
-  }
-
-  // Move the packet into the delivery event.
-  auto pkt = std::make_shared<ib::Packet>(std::move(entry.pkt));
-  sim_.after(tx_time + params_.propagation, [this, pkt]() mutable {
-    peer_->packet_arrived(std::move(*pkt), peer_port_);
-  });
 }
 
 InputPort::InputPort(sim::Simulator* simulator, const LinkParams& params,

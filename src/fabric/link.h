@@ -52,6 +52,10 @@ class OutputPort {
   bool connected() const { return peer_ != nullptr; }
   const std::string& name() const { return name_; }
 
+  /// Replaces this port's fault behaviour (FaultCampaign per-link override).
+  void set_fault_profile(const FaultProfile& profile) { faults_ = profile; }
+  const FaultProfile& fault_profile() const { return faults_; }
+
   /// Queues a packet for transmission on `vl`. `on_dispatch` (optional) runs
   /// when the first byte goes on the wire.
   void enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
@@ -96,26 +100,36 @@ class OutputPort {
   std::vector<std::deque<QueuedPacket>> vl_queues_;
   std::vector<std::size_t> credits_;
   VlArbiter arbiter_;
+  FaultProfile faults_;
   Rng fault_rng_;
   bool line_busy_ = false;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_corrupted_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_flap_dropped_ = 0;
   SimTime busy_time_ = 0;
   // Registry handles under "link.<name>.". Credit stalls measure the spans
   // where the line is free and packets wait but no VL has the credits to
   // send — the hop-by-hop back-pressure signal behind the paper's queuing-
   // time growth. Per-VL dispatch counters resolve lazily (most of the 16
-  // VLs never carry traffic).
+  // VLs never carry traffic). The faults.* counters feed the conservation
+  // invariant: injected == switch drops + link fault drops + received.
   obs::Counter* obs_packets_ = nullptr;
   obs::Counter* obs_bytes_ = nullptr;
   obs::Counter* obs_corrupted_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_flap_dropped_ = nullptr;
   obs::TimeAccumulator* obs_credit_stall_ = nullptr;
   std::vector<obs::Counter*> obs_vl_dispatched_;
   SimTime stall_since_ = -1;
 
  public:
   std::uint64_t packets_corrupted() const { return packets_corrupted_; }
+  /// Packets lost to random wire drops on this port.
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  /// Packets discarded because the link was flapped down at dispatch.
+  std::uint64_t packets_flap_dropped() const { return packets_flap_dropped_; }
 };
 
 /// Per-(port, VL) input buffer accounting at the receiving device, plus the

@@ -19,6 +19,7 @@ Switch::Switch(sim::Simulator& simulator, const FabricConfig& config, int id,
   obs_.drop_no_route = &reg.counter(prefix + "drop.no_route");
   obs_.drop_vcrc = &reg.counter(prefix + "drop.vcrc");
   obs_.drop_rate_limited = &reg.counter(prefix + "drop.rate_limited");
+  obs_.drop_dead = &reg.counter(prefix + "drop.dead");
   outputs_.reserve(static_cast<std::size_t>(num_ports));
   inputs_.resize(static_cast<std::size_t>(num_ports));
   for (int p = 0; p < num_ports; ++p) {
@@ -60,6 +61,14 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   InputPort& input = inputs_.at(static_cast<std::size_t>(in_port));
   const ib::VirtualLane vl = pkt.lrh.vl;
   input.accept(pkt, vl);
+
+  // A dead switch (FaultCampaign) eats everything before any processing.
+  if (dead_) {
+    ++stats_.dropped_dead;
+    obs_.drop_dead->inc();
+    input.release(pkt, vl);
+    return;
+  }
 
   // Link-level integrity: a corrupted packet is dropped at the hop.
   if (!pkt.vcrc_valid()) {

@@ -34,6 +34,12 @@ class Switch final : public Device {
   void set_route(ib::Lid dlid, int port);
   void set_ingress_port(int port, bool is_ingress);
 
+  /// FaultCampaign dead-switch state: every arriving packet is discarded
+  /// (counted under "switch.<id>.drop.dead"); buffers are still released so
+  /// neighbours keep their credits.
+  void set_dead(bool dead) { dead_ = dead; }
+  bool dead() const { return dead_; }
+
   SwitchPartitionFilter& filter() { return filter_; }
   const SwitchPartitionFilter& filter() const { return filter_; }
 
@@ -51,6 +57,7 @@ class Switch final : public Device {
     std::uint64_t dropped_no_route = 0;
     std::uint64_t dropped_vcrc = 0;
     std::uint64_t dropped_rate_limited = 0;
+    std::uint64_t dropped_dead = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -62,6 +69,7 @@ class Switch final : public Device {
     obs::Counter* drop_no_route = nullptr;
     obs::Counter* drop_vcrc = nullptr;
     obs::Counter* drop_rate_limited = nullptr;
+    obs::Counter* drop_dead = nullptr;
   };
 
  private:
@@ -77,6 +85,7 @@ class Switch final : public Device {
   // Per-port ingress admission limiter; only HCA-facing ports get one, and
   // only when config_.ingress_rate_limit_fraction > 0.
   std::vector<std::unique_ptr<TokenBucket>> ingress_limiters_;
+  bool dead_ = false;
   Stats stats_;
   ObsHandles obs_;
 };

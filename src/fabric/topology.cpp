@@ -9,7 +9,16 @@ constexpr int kEast = 1, kWest = 2, kNorth = 3, kSouth = 4;
 constexpr int kSwitchPorts = 5;
 }  // namespace
 
-Fabric::Fabric(const FabricConfig& config) : config_(config) { build(); }
+Fabric::Fabric(const FabricConfig& config) : config_(config) {
+  // The campaign's default profile seeds every link at construction time;
+  // per-link overrides and dead switches are applied to the built topology.
+  if (config_.fault_campaign.enabled()) {
+    config_.link.faults = config_.fault_campaign.default_profile;
+    config_.link.fault_seed = config_.fault_campaign.seed;
+  }
+  build();
+  apply_fault_campaign();
+}
 
 void Fabric::build() {
   const int n = config_.node_count();
@@ -84,6 +93,46 @@ void Fabric::build_routes() {
   }
 }
 
+void Fabric::apply_fault_campaign() {
+  const FaultCampaign& campaign = config_.fault_campaign;
+  for (const auto& [name, profile] : campaign.link_overrides) {
+    if (OutputPort* port = find_output_port(name)) {
+      port->set_fault_profile(profile);
+    }
+  }
+  for (int id : campaign.dead_switches) {
+    if (id >= 0 && id < static_cast<int>(switches_.size())) {
+      switches_[static_cast<std::size_t>(id)]->set_dead(true);
+    }
+  }
+}
+
+OutputPort* Fabric::find_output_port(const std::string& name) {
+  for (auto& hca : hcas_) {
+    if (hca->out().name() == name) return &hca->out();
+  }
+  for (auto& sw : switches_) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      if (sw->out(p).name() == name) return &sw->out(p);
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t Fabric::total_link_fault_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& hca : hcas_) {
+    total += hca->out().packets_dropped() + hca->out().packets_flap_dropped();
+  }
+  for (const auto& sw : switches_) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      total += sw->out(p).packets_dropped() +
+               sw->out(p).packets_flap_dropped();
+    }
+  }
+  return total;
+}
+
 std::uint64_t Fabric::total_filter_lookups() const {
   std::uint64_t total = 0;
   for (const auto& sw : switches_) total += sw->filter().total_lookups();
@@ -124,6 +173,7 @@ Switch::Stats Fabric::aggregate_switch_stats() const {
     agg.dropped_no_route += sw->stats().dropped_no_route;
     agg.dropped_vcrc += sw->stats().dropped_vcrc;
     agg.dropped_rate_limited += sw->stats().dropped_rate_limited;
+    agg.dropped_dead += sw->stats().dropped_dead;
   }
   return agg;
 }

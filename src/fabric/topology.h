@@ -48,6 +48,10 @@ class Fabric {
   std::uint64_t total_filter_drops() const;
   std::size_t total_filter_memory_bytes() const;
   Switch::Stats aggregate_switch_stats() const;
+  /// Packets lost to link faults (random drops + flap windows), fabric-wide.
+  std::uint64_t total_link_fault_drops() const;
+  /// Finds an OutputPort by name ("hca3.out", "sw5.out1"); null if absent.
+  OutputPort* find_output_port(const std::string& name);
   /// Highest transmit-side utilization over every switch output port
   /// (mesh links and switch->HCA links), at the current simulated time.
   double max_link_utilization();
@@ -56,6 +60,9 @@ class Fabric {
   void build();
   void connect_switches(int a, int port_a, int b, int port_b);
   void build_routes();
+  /// Applies config_.fault_campaign's per-link overrides and dead switches
+  /// to the constructed topology.
+  void apply_fault_campaign();
 
   FabricConfig config_;
   sim::Simulator sim_;

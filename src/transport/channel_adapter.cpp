@@ -15,6 +15,22 @@ ib::VirtualLane vl_for(ib::PacketMeta::TrafficClass tclass) {
   return fabric::kBestEffortVl;
 }
 
+/// RC request opcodes that consume a PSN at the responder (everything the
+/// reliability protocol sequences and acknowledges).
+bool is_rc_request(ib::OpCode op) {
+  switch (op) {
+    case ib::OpCode::kRcSendFirst:
+    case ib::OpCode::kRcSendMiddle:
+    case ib::OpCode::kRcSendLast:
+    case ib::OpCode::kRcSendOnly:
+    case ib::OpCode::kRcRdmaWriteOnly:
+    case ib::OpCode::kRcRdmaReadRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 ChannelAdapter::ChannelAdapter(fabric::Fabric& fabric, int node,
@@ -39,9 +55,18 @@ ChannelAdapter::ChannelAdapter(fabric::Fabric& fabric, int node,
   retire_.rdma_nak = &reg.counter(prefix + "rdma_nak");
   retire_.rdma_read_response = &reg.counter(prefix + "rdma_read_response");
   retire_.ack = &reg.counter(prefix + "ack");
+  retire_.nak = &reg.counter(prefix + "nak");
   retire_.no_dest_qp = &reg.counter(prefix + "no_dest_qp");
   retire_.qkey_violation = &reg.counter(prefix + "qkey_violation");
   retire_.delivered = &reg.counter(prefix + "delivered");
+  retire_.rc_duplicate = &reg.counter(prefix + "rc_duplicate");
+  retire_.rc_out_of_order = &reg.counter(prefix + "rc_out_of_order");
+  retire_.rc_bad_control = &reg.counter(prefix + "rc_bad_control");
+  const std::string rc_prefix = "ca." + std::to_string(node_) + ".rc.";
+  rc_obs_.retransmits = &reg.counter(rc_prefix + "retransmits");
+  rc_obs_.acks = &reg.counter(rc_prefix + "acks");
+  rc_obs_.naks = &reg.counter(rc_prefix + "naks");
+  rc_obs_.retry_exhausted = &reg.counter(rc_prefix + "retry_exhausted");
   fabric_.hca(node_).set_receive_callback(
       [this](ib::Packet&& pkt) { on_packet(std::move(pkt)); });
 }
@@ -119,7 +144,7 @@ bool ChannelAdapter::post_send(ib::Qpn local_qp,
   int target_node = dst_node;
   ib::Qpn target_qp = dst_qp;
   if (qp->type == ServiceType::kReliableConnection) {
-    if (!qp->connected) return false;
+    if (!qp->connected || qp->rc_error) return false;
     target_node = qp->peer_node;
     target_qp = qp->peer_qpn;
   } else if (target_node < 0) {
@@ -140,7 +165,11 @@ bool ChannelAdapter::post_send(ib::Qpn local_qp,
   pkt.payload = std::move(payload);
 
   ++qp->counters.sent;
-  sign_and_send(std::move(pkt));
+  if (qp->type == ServiceType::kReliableConnection) {
+    rc_submit(*qp, std::move(pkt));
+  } else {
+    sign_and_send(std::move(pkt));
+  }
   return true;
 }
 
@@ -149,7 +178,7 @@ bool ChannelAdapter::post_message(ib::Qpn local_qp,
                                   ib::PacketMeta::TrafficClass tclass) {
   QueuePair* qp = find_qp(local_qp);
   if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
-      !qp->connected) {
+      !qp->connected || qp->rc_error) {
     return false;
   }
   const std::size_t mtu = fabric_.config().mtu_bytes;
@@ -171,7 +200,7 @@ bool ChannelAdapter::post_message(ib::Qpn local_qp,
     pkt.payload.assign(message.begin() + static_cast<long>(offset),
                        message.begin() + static_cast<long>(offset + len));
     ++qp->counters.sent;
-    sign_and_send(std::move(pkt));
+    rc_submit(*qp, std::move(pkt));
   }
   return true;
 }
@@ -183,7 +212,7 @@ bool ChannelAdapter::post_rdma_write(ib::Qpn local_qp, std::uint64_t remote_va,
                                      bool ack_req) {
   QueuePair* qp = find_qp(local_qp);
   if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
-      !qp->connected) {
+      !qp->connected || qp->rc_error) {
     return false;
   }
   if (payload.size() > fabric_.config().mtu_bytes) return false;
@@ -199,7 +228,7 @@ bool ChannelAdapter::post_rdma_write(ib::Qpn local_qp, std::uint64_t remote_va,
   pkt.payload = std::move(payload);
 
   ++qp->counters.sent;
-  sign_and_send(std::move(pkt));
+  rc_submit(*qp, std::move(pkt));
   return true;
 }
 
@@ -208,7 +237,7 @@ bool ChannelAdapter::post_rdma_read(ib::Qpn local_qp, std::uint64_t remote_va,
                                     ib::PacketMeta::TrafficClass tclass) {
   QueuePair* qp = find_qp(local_qp);
   if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
-      !qp->connected) {
+      !qp->connected || qp->rc_error) {
     return false;
   }
   if (length > fabric_.config().mtu_bytes) return false;
@@ -222,7 +251,7 @@ bool ChannelAdapter::post_rdma_read(ib::Qpn local_qp, std::uint64_t remote_va,
 
   outstanding_reads_[{local_qp, pkt.bth.psn}] = {remote_va, length};
   ++qp->counters.sent;
-  sign_and_send(std::move(pkt));
+  rc_submit(*qp, std::move(pkt));
   return true;
 }
 
@@ -361,28 +390,67 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
     return;
   }
 
-  // 3. RDMA executes against the memory table without QP involvement.
+  // 3. RC reliability gate: with the protocol enabled, every RC request
+  // against a bound QP is sequenced here. In-order arrivals advance
+  // expected_psn and fall through to normal processing (rc_qp remembers the
+  // accepting QP for the ACK decision at the end); duplicates are re-acked
+  // and retired; out-of-order arrivals are dropped with one NAK per gap
+  // (go-back-N keeps the responder strictly in order).
+  QueuePair* rc_qp = nullptr;
+  if (rc_config_.enabled && is_rc_request(pkt.bth.opcode)) {
+    QueuePair* qp = find_qp(pkt.bth.dest_qp);
+    if (qp != nullptr && qp->type == ServiceType::kReliableConnection &&
+        qp->connected) {
+      if (pkt.bth.psn == qp->expected_psn) {
+        qp->expected_psn = (qp->expected_psn + 1) & ib::kPsnMask;
+        qp->rc_rx.nak_armed = false;
+        rc_qp = qp;
+      } else if (psn_lt(pkt.bth.psn, qp->expected_psn)) {
+        ++counters_.rc_duplicates;
+        retire_.rc_duplicate->inc();
+        if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadRequest) {
+          // The earlier response was lost: rebuild and resend it.
+          serve_rdma_read(pkt, /*duplicate=*/true);
+        } else {
+          schedule_rc_ack(*qp, /*force=*/true);
+        }
+        return;
+      } else {
+        ++counters_.rc_out_of_order;
+        retire_.rc_out_of_order->inc();
+        send_rc_nak(*qp);
+        return;
+      }
+    }
+  }
+
+  // 4. RDMA executes against the memory table without QP involvement.
   if (pkt.bth.opcode == ib::OpCode::kRcRdmaWriteOnly) {
     apply_rdma_write(pkt);
-    maybe_send_ack(pkt);
+    if (rc_qp != nullptr) {
+      schedule_rc_ack(*rc_qp, pkt.bth.ack_req);
+    } else {
+      maybe_send_ack(pkt);
+    }
     return;
   }
   if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadRequest) {
+    // The response itself is the acknowledgement — no separate ACK.
     serve_rdma_read(pkt);
     return;
   }
   if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadResponse) {
     retire_.rdma_read_response->inc();
+    if (rc_config_.enabled) rc_on_read_response(pkt);
     complete_rdma_read(pkt);
     return;
   }
   if (pkt.bth.opcode == ib::OpCode::kRcAck) {
-    ++counters_.acks_received;
-    retire_.ack->inc();
+    handle_rc_ack(pkt);
     return;
   }
 
-  // 4. SEND delivery: locate the destination QP; UD checks the Q_Key.
+  // 5. SEND delivery: locate the destination QP; UD checks the Q_Key.
   QueuePair* qp = find_qp(pkt.bth.dest_qp);
   if (qp == nullptr) {
     retire_.no_dest_qp->inc();
@@ -392,10 +460,11 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
     if (!pkt.deth || pkt.deth->qkey != qp->qkey) {
       ++counters_.qkey_violations;
       ++qp->counters.dropped_bad_qkey;
+      qkey_drop_counter(*qp).inc();
       retire_.qkey_violation->inc();
       return;
     }
-  } else {
+  } else if (!rc_config_.enabled) {
     track_rc_psn(pkt, *qp);
   }
   ++qp->counters.received;
@@ -444,7 +513,11 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
     default:
       break;
   }
-  maybe_send_ack(pkt);
+  if (rc_qp != nullptr) {
+    schedule_rc_ack(*rc_qp, pkt.bth.ack_req);
+  } else {
+    maybe_send_ack(pkt);
+  }
 }
 
 void ChannelAdapter::track_rc_psn(const ib::Packet& pkt, QueuePair& qp) {
@@ -475,13 +548,18 @@ void ChannelAdapter::maybe_send_ack(const ib::Packet& pkt) {
   sign_and_send(std::move(ack));
 }
 
-void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt) {
+void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt, bool duplicate) {
   // Locate the requesting endpoint through the targeted RC QP's binding.
+  // A duplicate request (retransmitted after its response was lost) was
+  // already retired as rc_duplicate: the response is rebuilt and resent but
+  // no counters move, so served work stays exactly-once.
   QueuePair* qp = find_qp(pkt.bth.dest_qp);
   if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
       !qp->connected || !pkt.reth) {
-    ++counters_.rdma_rejected;
-    retire_.rdma_rejected->inc();
+    if (!duplicate) {
+      ++counters_.rdma_rejected;
+      retire_.rdma_rejected->inc();
+    }
     return;
   }
   ib::Packet resp = make_packet(ib::PacketMeta::TrafficClass::kBestEffort,
@@ -494,14 +572,18 @@ void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt) {
   const auto region = memory_table_.check_access(
       pkt.reth->rkey, pkt.reth->va, pkt.reth->dma_len, /*is_write=*/false);
   if (!region) {
-    ++counters_.rdma_read_naks;
-    retire_.rdma_nak->inc();
+    if (!duplicate) {
+      ++counters_.rdma_read_naks;
+      retire_.rdma_nak->inc();
+    }
     resp.aeth = ib::Aeth{0x60 /*NAK: remote access error*/, pkt.bth.psn};
   } else {
-    ++counters_.rdma_reads_served;
-    ++counters_.delivered;
-    retire_.delivered->inc();
-    if (probe_) probe_(pkt);
+    if (!duplicate) {
+      ++counters_.rdma_reads_served;
+      ++counters_.delivered;
+      retire_.delivered->inc();
+      if (probe_) probe_(pkt);
+    }
     resp.aeth = ib::Aeth{0x00, pkt.bth.psn};
     const auto& buffer = memory_.at(pkt.reth->rkey);
     const std::size_t offset =
@@ -522,6 +604,256 @@ void ChannelAdapter::complete_rdma_read(const ib::Packet& pkt) {
   if (read_handler_) {
     read_handler_(pkt.bth.dest_qp, va, pkt.payload, ok);
   }
+}
+
+// --- RC reliability: sender side ---------------------------------------------
+
+void ChannelAdapter::rc_submit(QueuePair& qp, ib::Packet&& pkt) {
+  if (!rc_config_.enabled) {
+    sign_and_send(std::move(pkt));
+    return;
+  }
+  // Posts queue behind earlier ones whenever the window is full — pending
+  // order is PSN order, so release keeps the wire sequence intact.
+  if (!qp.rc_tx.pending.empty() ||
+      qp.rc_tx.window.size() >= rc_config_.max_outstanding) {
+    qp.rc_tx.pending.push_back(std::move(pkt));
+    return;
+  }
+  rc_transmit(qp, std::move(pkt));
+}
+
+void ChannelAdapter::rc_transmit(QueuePair& qp, ib::Packet&& pkt) {
+  const bool was_empty = qp.rc_tx.window.empty();
+  const ib::Psn psn = pkt.bth.psn;
+  ib::Packet copy = pkt;
+  qp.rc_tx.window.emplace(
+      psn, RcSendEntry{std::move(pkt), fabric_.simulator().now()});
+  sign_and_send(std::move(copy));
+  if (was_empty) arm_rc_timer(qp);
+}
+
+void ChannelAdapter::rc_release_pending(QueuePair& qp) {
+  while (!qp.rc_tx.pending.empty() &&
+         qp.rc_tx.window.size() < rc_config_.max_outstanding) {
+    ib::Packet pkt = std::move(qp.rc_tx.pending.front());
+    qp.rc_tx.pending.pop_front();
+    rc_transmit(qp, std::move(pkt));
+  }
+}
+
+void ChannelAdapter::arm_rc_timer(QueuePair& qp) {
+  // The event queue has no cancellation: bumping the generation makes every
+  // previously scheduled timer for this QP a no-op.
+  const std::uint64_t gen = ++qp.rc_tx.timer_generation;
+  const ib::Qpn qpn = qp.qpn;
+  fabric_.simulator().after(
+      rc_backoff_timeout(rc_config_, qp.rc_tx.retry_count),
+      [this, qpn, gen] { on_rc_timeout(qpn, gen); });
+}
+
+void ChannelAdapter::on_rc_timeout(ib::Qpn qpn, std::uint64_t generation) {
+  QueuePair* qp = find_qp(qpn);
+  if (qp == nullptr || qp->rc_tx.timer_generation != generation ||
+      qp->rc_tx.window.empty()) {
+    return;
+  }
+  ++qp->rc_tx.retry_count;
+  if (qp->rc_tx.retry_count > rc_config_.max_retries) {
+    rc_fail(*qp);
+    return;
+  }
+  rc_retransmit(*qp, qp->rc_tx.window.begin()->first);
+  arm_rc_timer(*qp);
+}
+
+void ChannelAdapter::rc_retransmit(QueuePair& qp, ib::Psn from_psn) {
+  // Go-back-N: every unacked request at or after from_psn goes out again,
+  // re-signed (the stored copy is the pre-finalize packet).
+  for (auto& [psn, entry] : qp.rc_tx.window) {
+    if (psn_lt(psn, from_psn)) continue;
+    ++counters_.rc_retransmits;
+    rc_obs_.retransmits->inc();
+    ib::Packet copy = entry.pkt;
+    sign_and_send(std::move(copy));
+  }
+}
+
+void ChannelAdapter::rc_fail(QueuePair& qp) {
+  ++counters_.rc_retry_exhausted;
+  rc_obs_.retry_exhausted->inc();
+  qp.rc_error = true;
+  const ib::Psn oldest = qp.rc_tx.window.empty()
+                             ? qp.next_psn
+                             : qp.rc_tx.window.begin()->first;
+  qp.rc_tx.window.clear();
+  qp.rc_tx.pending.clear();
+  ++qp.rc_tx.timer_generation;
+  // Reads in flight on this QP will never complete.
+  for (auto it = outstanding_reads_.begin();
+       it != outstanding_reads_.end();) {
+    if (it->first.first == qp.qpn) {
+      it = outstanding_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (rc_error_handler_) rc_error_handler_(qp.qpn, oldest);
+}
+
+void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
+  if (!rc_config_.enabled) {
+    ++counters_.acks_received;
+    retire_.ack->inc();
+    return;
+  }
+  QueuePair* qp = find_qp(pkt.bth.dest_qp);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
+      !qp->connected || !pkt.aeth) {
+    ++counters_.rc_bad_control;
+    retire_.rc_bad_control->inc();
+    return;
+  }
+  const ib::Psn psn = pkt.aeth->msn & ib::kPsnMask;
+  if (pkt.aeth->syndrome == kAethAck) {
+    if (qp->rc_tx.window.empty()) {
+      // Nothing outstanding: a stale duplicate of an earlier ACK.
+      ++counters_.acks_received;
+      retire_.ack->inc();
+      return;
+    }
+    if (!psn_lt(psn, qp->next_psn)) {
+      // Acknowledges PSNs never sent — forged or corrupted; never lets an
+      // attacker clear a window they didn't earn.
+      ++counters_.rc_bad_control;
+      retire_.rc_bad_control->inc();
+      return;
+    }
+    ++counters_.acks_received;
+    retire_.ack->inc();
+    rc_ack_through(*qp, psn, /*inclusive=*/true);
+    return;
+  }
+  if (pkt.aeth->syndrome == kAethNakPsnSequence) {
+    if (!psn_le(psn, qp->next_psn)) {
+      ++counters_.rc_bad_control;
+      retire_.rc_bad_control->inc();
+      return;
+    }
+    ++counters_.naks_received;
+    retire_.nak->inc();
+    // AETH.msn names the receiver's expected PSN: everything below it is
+    // implicitly acknowledged, everything at/after it goes out again now.
+    if (!qp->rc_tx.window.empty()) {
+      rc_ack_through(*qp, psn, /*inclusive=*/false);
+      if (!qp->rc_tx.window.empty()) {
+        rc_retransmit(*qp, psn);
+        arm_rc_timer(*qp);
+      }
+    }
+    return;
+  }
+  ++counters_.rc_bad_control;
+  retire_.rc_bad_control->inc();
+}
+
+void ChannelAdapter::rc_ack_through(QueuePair& qp, ib::Psn psn,
+                                    bool inclusive) {
+  bool progressed = false;
+  auto it = qp.rc_tx.window.begin();
+  while (it != qp.rc_tx.window.end()) {
+    const bool covered =
+        inclusive ? psn_le(it->first, psn) : psn_lt(it->first, psn);
+    if (!covered) break;
+    if (it->second.pkt.bth.opcode == ib::OpCode::kRcRdmaReadRequest) {
+      // Cumulative ACKs never complete a read — only its response does.
+      ++it;
+      continue;
+    }
+    it = qp.rc_tx.window.erase(it);
+    progressed = true;
+  }
+  if (progressed) rc_on_progress(qp);
+}
+
+void ChannelAdapter::rc_on_progress(QueuePair& qp) {
+  qp.rc_tx.retry_count = 0;
+  rc_release_pending(qp);
+  if (qp.rc_tx.window.empty()) {
+    ++qp.rc_tx.timer_generation;  // disarm
+  } else {
+    arm_rc_timer(qp);
+  }
+}
+
+void ChannelAdapter::rc_on_read_response(const ib::Packet& pkt) {
+  QueuePair* qp = find_qp(pkt.bth.dest_qp);
+  if (qp == nullptr || qp->type != ServiceType::kReliableConnection) return;
+  const auto it = qp->rc_tx.window.find(pkt.bth.psn);
+  if (it == qp->rc_tx.window.end()) return;  // duplicate response
+  qp->rc_tx.window.erase(it);
+  rc_on_progress(*qp);
+}
+
+// --- RC reliability: receiver side -------------------------------------------
+
+void ChannelAdapter::schedule_rc_ack(QueuePair& qp, bool force) {
+  ++qp.rc_rx.unacked;
+  if (force || qp.rc_rx.unacked >= rc_config_.ack_coalesce) {
+    send_rc_ack(qp);
+    return;
+  }
+  if (qp.rc_rx.ack_scheduled) return;
+  qp.rc_rx.ack_scheduled = true;
+  const ib::Qpn qpn = qp.qpn;
+  fabric_.simulator().after(rc_config_.ack_delay, [this, qpn] {
+    QueuePair* q = find_qp(qpn);
+    // ack_scheduled cleared means a coalesce-threshold ACK beat the timer.
+    if (q != nullptr && q->rc_rx.ack_scheduled) send_rc_ack(*q);
+  });
+}
+
+void ChannelAdapter::send_rc_ack(QueuePair& qp) {
+  qp.rc_rx.unacked = 0;
+  qp.rc_rx.ack_scheduled = false;
+  // Cumulative: everything strictly below expected_psn has been accepted.
+  const ib::Psn acked = (qp.expected_psn + ib::kPsnMask) & ib::kPsnMask;
+  ib::Packet ack = make_packet(ib::PacketMeta::TrafficClass::kBestEffort,
+                               qp.peer_node, qp.pkey);
+  ack.bth.opcode = ib::OpCode::kRcAck;
+  ack.bth.dest_qp = qp.peer_qpn;
+  ack.bth.psn = acked;
+  ack.meta.src_qp = qp.qpn;
+  ack.aeth = ib::Aeth{kAethAck, acked};
+  ++counters_.acks_sent;
+  rc_obs_.acks->inc();
+  sign_and_send(std::move(ack));
+}
+
+void ChannelAdapter::send_rc_nak(QueuePair& qp) {
+  if (qp.rc_rx.nak_armed) return;  // one NAK per gap
+  qp.rc_rx.nak_armed = true;
+  ib::Packet nak = make_packet(ib::PacketMeta::TrafficClass::kBestEffort,
+                               qp.peer_node, qp.pkey);
+  nak.bth.opcode = ib::OpCode::kRcAck;
+  nak.bth.dest_qp = qp.peer_qpn;
+  nak.bth.psn = qp.expected_psn;
+  nak.meta.src_qp = qp.qpn;
+  nak.aeth = ib::Aeth{kAethNakPsnSequence, qp.expected_psn};
+  ++counters_.naks_sent;
+  rc_obs_.naks->inc();
+  sign_and_send(std::move(nak));
+}
+
+obs::Counter& ChannelAdapter::qkey_drop_counter(const QueuePair& qp) {
+  auto it = qkey_drop_obs_.find(qp.qpn);
+  if (it == qkey_drop_obs_.end()) {
+    obs::Counter* c = &fabric_.simulator().obs().counter(
+        "ca." + std::to_string(node_) + ".qp." + std::to_string(qp.qpn) +
+        ".dropped_bad_qkey");
+    it = qkey_drop_obs_.emplace(qp.qpn, c).first;
+  }
+  return *it->second;
 }
 
 void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {

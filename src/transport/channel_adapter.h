@@ -147,6 +147,20 @@ class ChannelAdapter {
   /// primitive the DoS attacker uses.
   void inject_raw(ib::Packet&& pkt);
 
+  // --- RC reliability ---------------------------------------------------------
+  /// Enables/configures the RC reliability protocol (see rc_reliability.h).
+  /// Off by default: RC QPs then keep the seed fabric's fire-and-forget
+  /// semantics. Set before posting traffic.
+  void set_rc_config(const RcConfig& config) { rc_config_ = config; }
+  const RcConfig& rc_config() const { return rc_config_; }
+  /// Retry exhaustion: the QP is now in error (posts fail) and
+  /// `oldest_unacked` is the PSN of the first request that was given up on.
+  using RcErrorHandler =
+      std::function<void(ib::Qpn qpn, ib::Psn oldest_unacked)>;
+  void set_rc_error_handler(RcErrorHandler handler) {
+    rc_error_handler_ = std::move(handler);
+  }
+
   // --- management -----------------------------------------------------------------
   void send_mad(int dst_node, const Mad& mad);
   /// Runs the handler chain for a MAD without a fabric round-trip (used for
@@ -194,7 +208,13 @@ class ChannelAdapter {
     std::uint64_t rdma_read_naks = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t acks_received = 0;
+    std::uint64_t naks_sent = 0;
+    std::uint64_t naks_received = 0;
     std::uint64_t rc_out_of_order = 0;
+    std::uint64_t rc_duplicates = 0;
+    std::uint64_t rc_retransmits = 0;
+    std::uint64_t rc_retry_exhausted = 0;
+    std::uint64_t rc_bad_control = 0;
     std::uint64_t messages_delivered = 0;
     std::uint64_t reassembly_errors = 0;
     std::uint64_t reconfigs_applied = 0;
@@ -207,10 +227,30 @@ class ChannelAdapter {
   void handle_mad_packet(const ib::Packet& pkt);
   void handle_data_packet(ib::Packet&& pkt);
   void apply_rdma_write(const ib::Packet& pkt);
-  void serve_rdma_read(const ib::Packet& pkt);
+  /// `duplicate` re-serves a retransmitted request: the response is rebuilt
+  /// and resent but no delivery counters advance (exactly-once accounting).
+  void serve_rdma_read(const ib::Packet& pkt, bool duplicate = false);
   void complete_rdma_read(const ib::Packet& pkt);
   void maybe_send_ack(const ib::Packet& pkt);
   void track_rc_psn(const ib::Packet& pkt, QueuePair& qp);
+  // RC reliability: sender side.
+  void rc_submit(QueuePair& qp, ib::Packet&& pkt);
+  void rc_transmit(QueuePair& qp, ib::Packet&& pkt);
+  void rc_release_pending(QueuePair& qp);
+  void arm_rc_timer(QueuePair& qp);
+  void on_rc_timeout(ib::Qpn qpn, std::uint64_t generation);
+  void rc_retransmit(QueuePair& qp, ib::Psn from_psn);
+  void rc_fail(QueuePair& qp);
+  void handle_rc_ack(const ib::Packet& pkt);
+  void rc_ack_through(QueuePair& qp, ib::Psn psn, bool inclusive);
+  void rc_on_progress(QueuePair& qp);
+  void rc_on_read_response(const ib::Packet& pkt);
+  // RC reliability: receiver side.
+  void schedule_rc_ack(QueuePair& qp, bool force);
+  void send_rc_ack(QueuePair& qp);
+  void send_rc_nak(QueuePair& qp);
+  /// Lazily-resolved "ca.<n>.qp.<qpn>.dropped_bad_qkey" handle.
+  obs::Counter& qkey_drop_counter(const QueuePair& qp);
   /// Signs (if an authenticator applies) or finalizes, then sends.
   void sign_and_send(ib::Packet&& pkt);
   bool handle_port_reconfigure(const Mad& mad);
@@ -239,6 +279,8 @@ class ChannelAdapter {
   ReadCompletionHandler read_handler_;
   MessageHandler message_handler_;
   DeliveryProbe probe_;
+  RcConfig rc_config_;
+  RcErrorHandler rc_error_handler_;
   // RC reassembly: per local QP, the partial message being received.
   struct Reassembly {
     bool active = false;
@@ -267,11 +309,28 @@ class ChannelAdapter {
     obs::Counter* rdma_nak = nullptr;
     obs::Counter* rdma_read_response = nullptr;
     obs::Counter* ack = nullptr;
+    obs::Counter* nak = nullptr;
     obs::Counter* no_dest_qp = nullptr;
     obs::Counter* qkey_violation = nullptr;
     obs::Counter* delivered = nullptr;
+    obs::Counter* rc_duplicate = nullptr;
+    obs::Counter* rc_out_of_order = nullptr;
+    obs::Counter* rc_bad_control = nullptr;
   };
   RetireObs retire_;
+  /// Counters under "ca.<node>.rc.": the reliability protocol's own event
+  /// stream (retransmits, acks/naks sent, retry exhaustions).
+  struct RcObs {
+    obs::Counter* retransmits = nullptr;
+    obs::Counter* acks = nullptr;
+    obs::Counter* naks = nullptr;
+    obs::Counter* retry_exhausted = nullptr;
+  };
+  RcObs rc_obs_;
+  /// Lazily-created per-QP Q_Key-violation counters (satellite of the
+  /// invariant suite: QueuePair::dropped_bad_qkey used to be invisible to
+  /// --metrics).
+  std::unordered_map<ib::Qpn, obs::Counter*> qkey_drop_obs_;
 };
 
 }  // namespace ibsec::transport

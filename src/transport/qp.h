@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "ib/types.h"
+#include "transport/rc_reliability.h"
 
 namespace ibsec::transport {
 
@@ -37,6 +38,13 @@ struct QueuePair {
 
   /// Expected receive PSN (RC in-order delivery tracking).
   ib::Psn expected_psn = 0;
+
+  /// RC reliability protocol state (unused until RcConfig::enabled).
+  RcSenderState rc_tx;
+  RcReceiverState rc_rx;
+  /// Set when the retry budget is exhausted: the QP is broken, further
+  /// posts fail, and the application has been told via the error handler.
+  bool rc_error = false;
 
   struct Counters {
     std::uint64_t sent = 0;

@@ -1,0 +1,103 @@
+// RC transport reliability: the state the IBA verbs layer keeps per RC QP
+// to guarantee exactly-once in-order delivery over a lossy fabric.
+//
+// Sender side: an unacked window keyed by PSN holding a copy of every
+// in-flight request packet, a transport timer on the simulator event queue
+// (go-back-N retransmission with exponential backoff), and a bounded retry
+// budget — exhaustion surfaces as an error completion to the application,
+// never a silent stall. Receiver side: strict expected-PSN acceptance with
+// coalesced cumulative ACKs and one PSN-sequence-error NAK per gap.
+//
+// ACK/NAK ride the kRcAck opcode with an AETH: syndrome 0x00 is a
+// cumulative positive acknowledgement of AETH.msn, syndrome 0x60 is the
+// NAK whose AETH.msn names the receiver's expected PSN. (RDMA READ
+// responses reuse 0x60 for remote-access NAKs on their own opcode; the
+// spaces don't collide.)
+//
+// The simulator has no event cancellation, so timers are guarded by a
+// per-QP generation counter: a stale timer event fires as a no-op.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "common/time.h"
+#include "ib/packet.h"
+
+namespace ibsec::transport {
+
+// --- PSN serial arithmetic (24-bit circular space) ---------------------------
+/// a < b in the 24-bit circular PSN space (window spans stay < 2^23).
+constexpr bool psn_lt(ib::Psn a, ib::Psn b) {
+  return a != b && (((b - a) & ib::kPsnMask) < (1u << 23));
+}
+constexpr bool psn_le(ib::Psn a, ib::Psn b) { return a == b || psn_lt(a, b); }
+
+// --- AETH syndromes ----------------------------------------------------------
+inline constexpr std::uint8_t kAethAck = 0x00;
+inline constexpr std::uint8_t kAethNakPsnSequence = 0x60;
+
+/// Knobs for the RC reliability protocol. Reliability is opt-in
+/// (`enabled = false` preserves the seed fabric's fire-and-forget RC
+/// semantics for existing workloads and tests).
+struct RcConfig {
+  bool enabled = false;
+
+  /// Base transport timeout before the unacked window is retransmitted.
+  /// Must exceed the fabric RTT including queuing; spurious retransmits are
+  /// safe (the receiver re-ACKs duplicates) but waste bandwidth.
+  SimTime retransmit_timeout = 50 * time_literals::kMicrosecond;
+  /// Consecutive unacknowledged timeouts before the QP errors out.
+  int max_retries = 6;
+  /// Exponential backoff cap: timeout << min(retry_count, cap).
+  int backoff_shift_cap = 4;
+
+  /// Send-window depth in packets; posts beyond it queue at the sender.
+  std::size_t max_outstanding = 64;
+
+  /// Receiver: ACK after this many unacknowledged arrivals...
+  int ack_coalesce = 4;
+  /// ...or this long after the first of them, whichever comes first.
+  SimTime ack_delay = 5 * time_literals::kMicrosecond;
+};
+
+/// Timeout for the (retry_count)-th retransmission round.
+constexpr SimTime rc_backoff_timeout(const RcConfig& cfg, int retry_count) {
+  const int shift = retry_count < cfg.backoff_shift_cap
+                        ? retry_count
+                        : cfg.backoff_shift_cap;
+  return cfg.retransmit_timeout << shift;
+}
+
+/// One unacknowledged request: the pre-finalize packet copy (re-signed on
+/// retransmission) and when it first went out.
+struct RcSendEntry {
+  ib::Packet pkt;
+  SimTime first_posted = 0;
+};
+
+struct RcSenderState {
+  /// Unacked requests keyed by PSN. PSN-ordered; entries leave on a
+  /// covering cumulative ACK (or, for RDMA READ requests, on the response).
+  std::map<ib::Psn, RcSendEntry> window;
+  /// Posts beyond max_outstanding, transmitted as the window drains.
+  std::deque<ib::Packet> pending;
+  /// Consecutive timeout rounds without progress; reset by any ACK/response.
+  int retry_count = 0;
+  /// Guards the (uncancellable) transport timer: events carrying an older
+  /// generation fire as no-ops.
+  std::uint64_t timer_generation = 0;
+};
+
+struct RcReceiverState {
+  /// In-order arrivals since the last ACK went out.
+  int unacked = 0;
+  /// A coalescing ack_delay event is pending.
+  bool ack_scheduled = false;
+  /// One NAK per gap: set when a sequence-error NAK goes out, cleared when
+  /// expected_psn next advances.
+  bool nak_armed = false;
+};
+
+}  // namespace ibsec::transport

@@ -21,6 +21,7 @@ void Scenario::build() {
   for (int node = 0; node < n; ++node) {
     cas_.push_back(std::make_unique<transport::ChannelAdapter>(
         *fabric_, node, pki_, config_.seed, config_.rsa_bits));
+    cas_.back()->set_rc_config(config_.rc);
     cas_.back()->set_delivery_probe(
         [this](const ib::Packet& pkt) { metrics_.record(pkt); });
   }
@@ -198,6 +199,38 @@ void Scenario::build_traffic(Rng& rng) {
           rng.split(), qkm, overhead, config_.best_effort_load));
     }
   }
+
+  if (!config_.enable_rc_messages) return;
+  // RC streams: pair up consecutive honest nodes within each partition and
+  // run a message source in each direction over a bound RC QP pair.
+  const int parts = std::max(1, config_.num_partitions);
+  std::vector<std::vector<int>> honest(static_cast<std::size_t>(parts));
+  for (int node = 0; node < n; ++node) {
+    if (attackers.count(node)) continue;
+    honest[static_cast<std::size_t>(
+               node_partition_[static_cast<std::size_t>(node)])]
+        .push_back(node);
+  }
+  for (const auto& members : honest) {
+    for (std::size_t i = 0; i + 1 < members.size(); i += 2) {
+      const int a = members[i];
+      const int b = members[i + 1];
+      const ib::PKeyValue pkey = pkey_of_partition(
+          node_partition_[static_cast<std::size_t>(a)]);
+      const ib::Qpn qa =
+          ca(a).create_qp(transport::ServiceType::kReliableConnection, pkey)
+              .qpn;
+      const ib::Qpn qb =
+          ca(b).create_qp(transport::ServiceType::kReliableConnection, pkey)
+              .qpn;
+      ca(a).bind_rc(qa, b, qb);
+      ca(b).bind_rc(qb, a, qa);
+      rc_sources_.push_back(std::make_unique<RcMessageSource>(
+          ca(a), qa, rng.split(), config_.rc_load, config_.rc_message_bytes));
+      rc_sources_.push_back(std::make_unique<RcMessageSource>(
+          ca(b), qb, rng.split(), config_.rc_load, config_.rc_message_bytes));
+    }
+  }
 }
 
 ScenarioResult Scenario::run() {
@@ -208,6 +241,9 @@ ScenarioResult Scenario::run() {
   for (auto& src : sources_) {
     src->start(sim.now() + static_cast<SimTime>(stagger.uniform(3'276'800)));
   }
+  for (auto& src : rc_sources_) {
+    src->start(sim.now() + static_cast<SimTime>(stagger.uniform(3'276'800)));
+  }
   for (auto& attacker : attackers_) {
     attacker->start(sim.now() +
                     static_cast<SimTime>(stagger.uniform(1'000'000)));
@@ -216,6 +252,7 @@ ScenarioResult Scenario::run() {
   sim.run_until(sim.now() + config_.warmup + config_.duration);
 
   for (auto& src : sources_) src->stop();
+  for (auto& src : rc_sources_) src->stop();
   for (auto& attacker : attackers_) attacker->stop();
 
   ScenarioResult result;

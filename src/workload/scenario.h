@@ -49,6 +49,16 @@ struct ScenarioConfig {
   /// P_Key, making partition filtering useless.
   bool attack_with_valid_pkey = false;
 
+  /// RC reliability protocol knobs, applied to every CA (off by default —
+  /// see transport/rc_reliability.h). Note: retransmissions replay PSNs, so
+  /// combining rc.enabled with replay_protection rejects every resend.
+  transport::RcConfig rc;
+  /// RC message streams between consecutive same-partition honest nodes
+  /// (both directions), sized to exercise segmentation.
+  bool enable_rc_messages = false;
+  double rc_load = 0.2;            ///< fraction of link bandwidth per stream
+  std::size_t rc_message_bytes = 2600;  ///< mean message size (MTU is 1024)
+
   KeyManagement key_management = KeyManagement::kNone;
   crypto::AuthAlgorithm auth_alg = crypto::AuthAlgorithm::kUmac32;
   bool auth_enabled = false;       ///< sign + require tags on all partitions
@@ -135,6 +145,7 @@ class Scenario {
   std::vector<std::unique_ptr<security::QpKeyManager>> qp_keys_;
   std::vector<std::unique_ptr<security::AuthEngine>> auth_engines_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;
+  std::vector<std::unique_ptr<RcMessageSource>> rc_sources_;
   std::vector<std::unique_ptr<Attacker>> attackers_;
   std::vector<int> node_partition_;      // node -> partition index
   std::vector<ib::Qpn> ud_qp_of_node_;   // node -> its workload UD QP

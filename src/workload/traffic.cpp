@@ -146,4 +146,34 @@ SimTime BestEffortSource::next_interval() {
   return static_cast<SimTime>(rng_.exponential(mean_interval_ps_));
 }
 
+RcMessageSource::RcMessageSource(transport::ChannelAdapter& ca, ib::Qpn qp,
+                                 Rng rng, double load_fraction,
+                                 std::size_t mean_message_bytes)
+    : ca_(ca), qp_(qp), rng_(rng), mean_bytes_(mean_message_bytes) {
+  const auto& cfg = ca.fabric().config();
+  const SimTime message_time = serialization_time_ps(
+      static_cast<std::int64_t>(mean_message_bytes), cfg.link.bandwidth_bps);
+  mean_interval_ps_ = static_cast<double>(message_time) / load_fraction;
+}
+
+void RcMessageSource::start(SimTime at) {
+  ca_.fabric().simulator().at(at, [this] { tick(); });
+}
+
+void RcMessageSource::tick() {
+  if (stopped_) return;
+  ca_.fabric().simulator().after(
+      static_cast<SimTime>(rng_.exponential(mean_interval_ps_)),
+      [this] { tick(); });
+  // Sizes uniform in (0, 2*mean]: half the messages need segmentation when
+  // the mean sits above the MTU.
+  const std::size_t size = 1 + rng_.uniform(2 * mean_bytes_);
+  if (ca_.post_message(qp_, make_payload(size, posted_ + 1),
+                       ib::PacketMeta::TrafficClass::kBestEffort)) {
+    ++posted_;
+  } else {
+    ++post_failures_;
+  }
+}
+
 }  // namespace ibsec::workload

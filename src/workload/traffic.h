@@ -120,4 +120,35 @@ class BestEffortSource final : public TrafficSource {
   double mean_interval_ps_;
 };
 
+/// Message stream over a bound RC QP: Poisson arrivals of variable-size
+/// messages (sub-MTU through multi-MTU, so post_message exercises
+/// segmentation) at a mean load of `load_fraction` of link bandwidth.
+/// With RcConfig::enabled this drives the reliability protocol — ACK
+/// coalescing, retransmission, window back-pressure — under fault
+/// campaigns; posts stop counting once the QP errors out (retry exhausted).
+class RcMessageSource {
+ public:
+  RcMessageSource(transport::ChannelAdapter& ca, ib::Qpn qp, Rng rng,
+                  double load_fraction, std::size_t mean_message_bytes);
+
+  void start(SimTime at);
+  void stop() { stopped_ = true; }
+
+  std::uint64_t posted() const { return posted_; }
+  /// Posts rejected by the CA (typically rc_error after retry exhaustion).
+  std::uint64_t post_failures() const { return post_failures_; }
+
+ private:
+  void tick();
+
+  transport::ChannelAdapter& ca_;
+  ib::Qpn qp_;
+  Rng rng_;
+  double mean_interval_ps_;
+  std::size_t mean_bytes_;
+  bool stopped_ = false;
+  std::uint64_t posted_ = 0;
+  std::uint64_t post_failures_ = 0;
+};
+
 }  // namespace ibsec::workload

@@ -16,7 +16,7 @@ ScenarioConfig config_variant(int i) {
   cfg.seed = 21 + static_cast<std::uint64_t>(i);
   cfg.warmup = 50 * kMicrosecond;
   cfg.duration = 300 * kMicrosecond;
-  switch (i % 3) {
+  switch (i % 4) {
     case 0:
       cfg.num_attackers = 2;
       cfg.fabric.filter_mode = fabric::FilterMode::kSif;
@@ -25,10 +25,34 @@ ScenarioConfig config_variant(int i) {
       cfg.num_attackers = 1;
       cfg.fabric.filter_mode = fabric::FilterMode::kIf;
       break;
+    case 2:
+      // Lossy links + the RC reliability protocol: retransmission timers,
+      // coalesced ACKs and per-link fault RNGs all have to replay exactly.
+      cfg.fabric.fault_campaign =
+          *fabric::FaultCampaign::parse("seed=9;drop=0.03;corrupt=0.01");
+      cfg.rc.enabled = true;
+      cfg.enable_rc_messages = true;
+      cfg.rc_load = 0.15;
+      break;
     default:
       break;  // baseline
   }
   return cfg;
+}
+
+TEST(Determinism, FaultyLinkRcRetransmitsByteIdentical) {
+  ScenarioConfig cfg = config_variant(2);
+  Scenario first(cfg);
+  Scenario second(cfg);
+  const ScenarioResult a = first.run();
+  const ScenarioResult b = second.run();
+  // The faults and the recovery actually happened...
+  EXPECT_GT(a.obs.sum_matching("link.*.faults.dropped"), 0);
+  EXPECT_GT(a.obs.sum_matching("ca.*.rc.retransmits"), 0);
+  EXPECT_GT(a.obs.sum_matching("ca.*.rc.acks"), 0);
+  // ...and replay byte-identically, retransmit and fault counters included.
+  EXPECT_EQ(a.obs, b.obs);
+  EXPECT_EQ(a.obs.to_json(), b.obs.to_json());
 }
 
 TEST(Determinism, SameSeedSameSnapshotJson) {

@@ -39,7 +39,7 @@ TEST(FaultInjection, CorruptionCaughtAndAccounted) {
   FabricConfig cfg;
   cfg.mesh_width = 2;
   cfg.mesh_height = 1;
-  cfg.link.corruption_rate = 0.2;
+  cfg.link.faults.corruption_rate = 0.2;
   Fabric fabric(cfg);
 
   // The raw fabric HCA sits *below* the VCRC check (that is the CA's job,
@@ -100,7 +100,7 @@ TEST(FaultInjection, EndNodeCatchesLastHopCorruption) {
   cfg.duration = 1 * kMillisecond;
   cfg.enable_realtime = false;
   cfg.best_effort_load = 0.4;
-  cfg.fabric.link.corruption_rate = 0.05;
+  cfg.fabric.link.faults.corruption_rate = 0.05;
   workload::Scenario scenario(cfg);
   const auto r = scenario.run();
   std::uint64_t vcrc_errors = 0;
@@ -117,7 +117,7 @@ TEST(FaultInjection, DeterministicGivenSeed) {
     cfg.seed = 18;
     cfg.duration = 500 * kMicrosecond;
     cfg.enable_realtime = false;
-    cfg.fabric.link.corruption_rate = 0.05;
+    cfg.fabric.link.faults.corruption_rate = 0.05;
     workload::Scenario scenario(cfg);
     return scenario.run().delivered;
   };

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "ib/packet.h"
+#include "transport/channel_adapter.h"
 #include "transport/mad.h"
 
 namespace ibsec {
@@ -104,6 +105,135 @@ TEST_P(MadFuzz, RandomBuffersNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MadFuzz, ::testing::Values(7, 8));
+
+// --- RC control-plane mutations ----------------------------------------------
+// The ACK/NAK handler faces the wire: forged, truncated or misdirected
+// acknowledgements must be dropped and counted (rc_bad_control), never
+// crash the CA, and — critically — never spoof-complete a send window.
+struct RcControlFuzz : public ::testing::Test {
+  RcControlFuzz() {
+    fabric::FabricConfig fcfg;
+    fcfg.mesh_width = 2;
+    fcfg.mesh_height = 1;
+    fabric = std::make_unique<fabric::Fabric>(fcfg);
+    transport::RcConfig rc;
+    rc.enabled = true;
+    rc.retransmit_timeout = 20 * time_literals::kMicrosecond;
+    for (int node = 0; node < 2; ++node) {
+      cas.push_back(std::make_unique<transport::ChannelAdapter>(
+          *fabric, node, pki, 55, /*rsa_bits=*/256));
+      cas.back()->set_rc_config(rc);
+    }
+    auto& a = cas[0]->create_qp(transport::ServiceType::kReliableConnection,
+                                0xFFFF);
+    auto& b = cas[1]->create_qp(transport::ServiceType::kReliableConnection,
+                                0xFFFF);
+    cas[0]->bind_rc(a.qpn, 1, b.qpn);
+    cas[1]->bind_rc(b.qpn, 0, a.qpn);
+    src_qpn = a.qpn;
+    dst_qpn = b.qpn;
+  }
+
+  /// A kRcAck skeleton from node 1 aimed at node 0's RC QP.
+  ib::Packet forged_control() {
+    ib::Packet pkt;
+    pkt.lrh.vl = fabric::kBestEffortVl;
+    pkt.lrh.sl = pkt.lrh.vl;
+    pkt.lrh.slid = fabric->lid_of_node(1);
+    pkt.lrh.dlid = fabric->lid_of_node(0);
+    pkt.bth.opcode = ib::OpCode::kRcAck;
+    pkt.bth.pkey = 0xFFFF;
+    pkt.bth.dest_qp = src_qpn;
+    pkt.meta.src_qp = dst_qpn;
+    pkt.meta.src_node = 1;
+    pkt.meta.dst_node = 0;
+    return pkt;
+  }
+
+  transport::PkiDirectory pki;
+  std::unique_ptr<fabric::Fabric> fabric;
+  std::vector<std::unique_ptr<transport::ChannelAdapter>> cas;
+  ib::Qpn src_qpn = 0, dst_qpn = 0;
+};
+
+TEST_F(RcControlFuzz, ForgedAckWithFuturePsnCannotSpoofCompleteWindow) {
+  int delivered = 0;
+  cas[1]->set_message_handler(
+      [&](std::vector<std::uint8_t>, const transport::QueuePair&) {
+        ++delivered;
+      });
+  ASSERT_TRUE(cas[0]->post_message(
+      src_qpn, std::vector<std::uint8_t>(3000, 0x11),
+      ib::PacketMeta::TrafficClass::kBestEffort));
+  // Spoofed cumulative ACK far beyond anything sent: must not erase the
+  // window (the real delivery still completes it) and must be counted.
+  ib::Packet ack = forged_control();
+  ack.bth.psn = 0x123456;
+  ack.aeth = ib::Aeth{transport::kAethAck, 0x123456};
+  ack.finalize();
+  cas[1]->inject_raw(std::move(ack));
+  fabric->simulator().run();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(cas[0]->find_qp(src_qpn)->rc_tx.window.empty());
+  EXPECT_GE(cas[0]->counters().rc_bad_control, 1u);
+  EXPECT_EQ(cas[0]->counters().rc_retry_exhausted, 0u);
+}
+
+TEST_F(RcControlFuzz, AckVariantsNeverCrashAndAreCounted) {
+  // Missing AETH entirely.
+  ib::Packet no_aeth = forged_control();
+  no_aeth.finalize();
+  cas[1]->inject_raw(std::move(no_aeth));
+  // NAK naming a PSN the sender never reached.
+  ib::Packet wild_nak = forged_control();
+  wild_nak.aeth = ib::Aeth{transport::kAethNakPsnSequence, 0x7FFFFF};
+  wild_nak.finalize();
+  cas[1]->inject_raw(std::move(wild_nak));
+  // Unknown AETH syndrome.
+  ib::Packet bad_syndrome = forged_control();
+  bad_syndrome.aeth = ib::Aeth{0x3F, 0};
+  bad_syndrome.finalize();
+  cas[1]->inject_raw(std::move(bad_syndrome));
+  // ACK aimed at a UD QP (no RC state at all).
+  auto& ud = cas[0]->create_qp(transport::ServiceType::kUnreliableDatagram,
+                               0xFFFF);
+  ib::Packet ud_ack = forged_control();
+  ud_ack.bth.dest_qp = ud.qpn;
+  ud_ack.aeth = ib::Aeth{transport::kAethAck, 0};
+  ud_ack.finalize();
+  cas[1]->inject_raw(std::move(ud_ack));
+  // ACK for a QPN that doesn't exist.
+  ib::Packet ghost = forged_control();
+  ghost.bth.dest_qp = 0xDEAD;
+  ghost.aeth = ib::Aeth{transport::kAethAck, 0};
+  ghost.finalize();
+  cas[1]->inject_raw(std::move(ghost));
+
+  fabric->simulator().run();
+  // All five were dropped and counted; nothing delivered, nothing broke.
+  EXPECT_EQ(cas[0]->counters().rc_bad_control, 5u);
+  EXPECT_EQ(cas[0]->counters().delivered, 0u);
+  EXPECT_FALSE(cas[0]->find_qp(src_qpn)->rc_error);
+}
+
+TEST_F(RcControlFuzz, TruncatedAckWirePrefixesNeverCrash) {
+  ib::Packet ack = forged_control();
+  ack.aeth = ib::Aeth{transport::kAethAck, 0x000123};
+  ack.finalize();
+  const auto wire = ack.serialize();
+  for (std::size_t len = 0; len <= wire.size(); ++len) {
+    const auto parsed = ib::Packet::parse(std::span(wire).first(len));
+    if (parsed.has_value() && len < wire.size()) {
+      EXPECT_FALSE(parsed->vcrc_valid());
+    }
+  }
+  const auto full = ib::Packet::parse(wire);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(full->aeth.has_value());
+  EXPECT_EQ(full->aeth->syndrome, transport::kAethAck);
+  EXPECT_EQ(full->aeth->msn, 0x000123u);
+}
 
 TEST(PacketFuzzMisc, ParseSerializeIdempotence) {
   Rng rng(42);

@@ -37,12 +37,16 @@ obs::Snapshot run_and_drain(Scenario& scenario) {
 void expect_conservation(const obs::Snapshot& snap, int nodes) {
   const std::int64_t injected = snap.sum_matching("hca.*.injected");
   const std::int64_t switch_drops = snap.sum_matching("switch.*.drop.*");
+  const std::int64_t link_drops =
+      snap.sum_matching("link.*.faults.dropped") +
+      snap.sum_matching("link.*.faults.flap_dropped");
   const std::int64_t received = snap.sum_matching("hca.*.received");
   const std::int64_t retired = snap.sum_matching("ca.*.retired.*");
 
   EXPECT_GT(injected, 0);
-  // Fabric-wide: injected packets either died in a switch or reached an HCA.
-  EXPECT_EQ(injected, switch_drops + received);
+  // Fabric-wide: injected packets either died in a switch, were lost on a
+  // faulty link, or reached an HCA.
+  EXPECT_EQ(injected, switch_drops + link_drops + received);
   // Every packet an HCA handed up was retired by its CA exactly once.
   EXPECT_EQ(received, retired);
   // Per node: the CA retire causes partition the HCA's receive count.
@@ -169,6 +173,92 @@ TEST(Conservation, AuthenticatedQpKeysWithReplayProtection) {
 
   EXPECT_GT(snap.at("auth.signed"), 0);
   EXPECT_GT(snap.at("auth.verify_ok"), 0);
+}
+
+TEST(Conservation, FaultyLinksWithRcReliability) {
+  // Random link drops plus the RC reliability protocol: retransmissions,
+  // ACKs and NAKs are all extra packets, and the loss itself is a new drop
+  // cause — conservation must still balance to the packet.
+  ScenarioConfig cfg = base_config();
+  cfg.fabric.fault_campaign =
+      *fabric::FaultCampaign::parse("seed=5;drop=0.02");
+  cfg.rc.enabled = true;
+  cfg.enable_rc_messages = true;
+  cfg.rc_load = 0.15;
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  EXPECT_GT(snap.sum_matching("link.*.faults.dropped"), 0);
+  EXPECT_GT(snap.sum_matching("ca.*.rc.retransmits"), 0);
+  EXPECT_GT(snap.sum_matching("ca.*.rc.acks"), 0);
+  EXPECT_GT(snap.sum_matching("ca.*.retired.delivered"), 0);
+}
+
+TEST(Conservation, DeadSwitch) {
+  // A dead switch blackholes everything that reaches it, including its own
+  // HCA's traffic; those deaths are a counted switch drop cause.
+  ScenarioConfig cfg = base_config();
+  cfg.fabric.fault_campaign = *fabric::FaultCampaign::parse("dead-switch=5");
+  Scenario scenario(cfg);
+  const obs::Snapshot snap = run_and_drain(scenario);
+  expect_conservation(snap, scenario.fabric().node_count());
+
+  EXPECT_GT(snap.at("switch.5.drop.dead"), 0);
+}
+
+TEST(Conservation, QkeyDropSurfacedPerQp) {
+  // The per-QP dropped_bad_qkey counter (bugfix: QueuePair::dropped_bad_qkey
+  // used to be invisible to the registry) must agree with the CA-level
+  // retire cause and the struct counter.
+  ScenarioConfig cfg = base_config();
+  cfg.enable_realtime = false;
+  cfg.enable_best_effort = false;
+  Scenario scenario(cfg);
+
+  // Two distinct non-SM nodes in the same partition.
+  const auto& part = scenario.partition_of_node();
+  int src = -1, dst = -1;
+  for (std::size_t i = 1; i < part.size() && src < 0; ++i) {
+    for (std::size_t j = i + 1; j < part.size(); ++j) {
+      if (part[i] == part[j]) {
+        src = static_cast<int>(i);
+        dst = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(src, 1);
+  const ib::PKeyValue pkey = scenario.pkey_of_partition(part[
+      static_cast<std::size_t>(src)]);
+  auto& sqp = scenario.ca(src).create_qp(
+      transport::ServiceType::kUnreliableDatagram, pkey);
+  auto& dqp = scenario.ca(dst).create_qp(
+      transport::ServiceType::kUnreliableDatagram, pkey);
+  const ib::Qpn src_qpn = sqp.qpn;
+  const ib::Qpn dst_qpn = dqp.qpn;
+  const ib::QKeyValue good = dqp.qkey;
+
+  for (int k = 0; k < 5; ++k) {
+    scenario.ca(src).post_send(src_qpn, {1, 2, 3},
+                               ib::PacketMeta::TrafficClass::kBestEffort, dst,
+                               dst_qpn, good ^ 0xBAD);  // wrong Q_Key
+  }
+  scenario.ca(src).post_send(src_qpn, {4, 5, 6},
+                             ib::PacketMeta::TrafficClass::kBestEffort, dst,
+                             dst_qpn, good);
+  scenario.fabric().simulator().run();
+  const obs::Snapshot snap = scenario.fabric().simulator().obs().snapshot();
+
+  const std::string per_qp = "ca." + std::to_string(dst) + ".qp." +
+                             std::to_string(dst_qpn) + ".dropped_bad_qkey";
+  EXPECT_EQ(snap.at(per_qp), 5);
+  EXPECT_EQ(snap.sum_matching("ca.*.qp.*.dropped_bad_qkey"),
+            snap.sum_matching("ca.*.retired.qkey_violation"));
+  EXPECT_EQ(static_cast<std::int64_t>(
+                scenario.ca(dst).find_qp(dst_qpn)->counters.dropped_bad_qkey),
+            snap.at(per_qp));
+  expect_conservation(snap, scenario.fabric().node_count());
 }
 
 TEST(Conservation, SnapshotAgreesWithLegacyCounters) {
