@@ -1,0 +1,42 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibsec {
+namespace {
+
+std::atomic<std::uint64_t> g_failure_count{0};
+
+[[noreturn]] void default_handler(const CheckContext& ctx) {
+  std::fprintf(stderr, "IBSEC_CHECK failed: %s at %s:%d%s%s\n", ctx.expr,
+               ctx.file, ctx.line, ctx.message.empty() ? "" : " — ",
+               ctx.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CheckFailureHandler> g_handler{&default_handler};
+
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &default_handler;
+  return g_handler.exchange(handler);
+}
+
+std::uint64_t check_failure_count() {
+  return g_failure_count.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+CheckFailure::~CheckFailure() {
+  CheckContext ctx{file_, line_, expr_, stream_.str()};
+  g_failure_count.fetch_add(1, std::memory_order_relaxed);
+  g_handler.load()(ctx);
+}
+
+}  // namespace detail
+}  // namespace ibsec

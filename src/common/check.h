@@ -1,0 +1,105 @@
+// Contract-checking library: the repo's replacement for raw assert().
+//
+// Every simulator result rests on invariants (credit accounting, RC window
+// bounds, VL arbiter state) that must hold in *release* builds too — a raw
+// assert() compiles away under NDEBUG, which is exactly the build tier-1
+// runs. IBSEC_CHECK stays armed in every build and fails closed: it prints
+// the expression, location, and an optional streamed message, bumps the
+// process-wide failure counter, then invokes the failure handler (which
+// aborts by default).
+//
+//   IBSEC_CHECK(credits >= bytes) << "vl=" << vl << " credits=" << credits;
+//   IBSEC_DCHECK(psn <= window_end);   // debug builds only
+//
+// IBSEC_CHECK   — always on; use for invariants whose violation means the
+//                 simulation state (and therefore every downstream metric)
+//                 is corrupt. Fail-closed beats silently-wrong.
+// IBSEC_DCHECK  — compiled out under NDEBUG (the condition is not even
+//                 evaluated); use on hot paths where the check itself would
+//                 cost measurable time, or for redundant sanity checks.
+//
+// Tests may install a non-aborting handler (set_check_failure_handler) to
+// exercise failure paths without death tests; the failure counter
+// (check_failure_count) is the obs-style evidence that a check fired.
+//
+// detlint's `raw-assert` rule enforces that src/ uses these macros instead
+// of assert() — see tools/detlint.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ibsec {
+
+/// Everything known about a failed check, handed to the failure handler.
+struct CheckContext {
+  const char* file = nullptr;
+  int line = 0;
+  const char* expr = nullptr;
+  std::string message;  ///< streamed-in detail; empty when none given
+};
+
+/// Called when a check fails. The default handler writes the failure to
+/// stderr and calls std::abort(). A test-installed handler that returns
+/// leaves execution to continue past the failed check — only do that in
+/// tests that deliberately probe failure paths.
+using CheckFailureHandler = void (*)(const CheckContext&);
+
+/// Installs `handler` (nullptr restores the default); returns the previous
+/// handler so tests can scope their override.
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// Process-wide count of failed checks (both CHECK and DCHECK), incremented
+/// before the handler runs. Monotonic, atomic; the check subsystem's
+/// equivalent of an obs counter (it is process-global because a failing
+/// invariant is a property of the build, not of one Simulator).
+std::uint64_t check_failure_count();
+
+namespace detail {
+
+/// Builds the failure message via operator<< and fires the handler from its
+/// destructor, so `IBSEC_CHECK(x) << "detail"` finishes streaming before
+/// the failure is reported.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream expression so the macro has type void in both arms
+/// of the ternary (glog's Voidify idiom).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace detail
+}  // namespace ibsec
+
+/// Always-on invariant check; streams an optional message:
+///   IBSEC_CHECK(cond) << "context " << value;
+#define IBSEC_CHECK(cond)                        \
+  (cond) ? (void)0                               \
+         : ::ibsec::detail::Voidify() &          \
+               ::ibsec::detail::CheckFailure(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+/// Debug-only check: under NDEBUG the condition is not evaluated (the
+/// `true ||` short-circuit keeps it ODR-used so variables never become
+/// "unused in release").
+#ifdef NDEBUG
+#define IBSEC_DCHECK(cond) IBSEC_CHECK(true || (cond))
+#else
+#define IBSEC_DCHECK(cond) IBSEC_CHECK(cond)
+#endif

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace ibsec {
 
 ThreadPool::ThreadPool(unsigned workers) {
@@ -59,6 +61,7 @@ void ThreadPool::worker_loop() {
     task();
     {
       std::lock_guard lock(mutex_);
+      IBSEC_CHECK(in_flight_ > 0) << "task completion without submission";
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -2,6 +2,15 @@
 // in parallel. Each simulation instance is single-threaded and deterministic
 // given its seed; the pool only parallelizes *across* configurations, so
 // sweep results are identical regardless of worker count or scheduling.
+//
+// Thread-safety model (checked by the CI TSan lane on the fabric/fault
+// shards): every mutable member is guarded by mutex_, tasks communicate
+// with the pool only through submit(), and task completion happens-before
+// wait_idle() returning (the all_done_ notification is issued under
+// mutex_ after the worker runs the task). Tasks themselves must not share
+// unsynchronized state with each other — the sweep upholds that by giving
+// each worker its own Simulator and writing results to disjoint vector
+// slots (see workload/experiment.cpp).
 #pragma once
 
 #include <condition_variable>
@@ -39,12 +48,17 @@ class ThreadPool {
   void worker_loop();
 
   std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
+  std::condition_variable work_available_;  // signaled with mutex_ held
+  std::condition_variable all_done_;        // signaled with mutex_ held
+  std::queue<std::function<void()>> tasks_;  // guarded by mutex_
+  // Written only by the constructor, joined by the destructor; workers
+  // never touch it (no guard needed).
   std::vector<std::thread> threads_;
+  // Tasks submitted but not yet finished; guarded by mutex_. Incremented
+  // at submit, decremented after the task body returns, so it only reaches
+  // 0 when every effect of every task is visible.
   std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  bool stopping_ = false;  // guarded by mutex_
 };
 
 }  // namespace ibsec

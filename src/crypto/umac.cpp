@@ -1,6 +1,6 @@
 #include "crypto/umac.h"
 
-#include <cassert>
+#include "common/check.h"
 #include <cstring>
 #include <stdexcept>
 
@@ -110,7 +110,8 @@ void HashIteration::init(std::span<const std::uint8_t> nh_key,
                          std::uint64_t poly_key,
                          std::span<const std::uint64_t, 8> l3_key1,
                          std::uint32_t l3_key2) {
-  assert(nh_key.size() >= kL1BlockBytes);
+  IBSEC_CHECK(nh_key.size() >= kL1BlockBytes)
+      << "NH key too short: " << nh_key.size();
   for (std::size_t i = 0; i < nh_key_.size(); ++i) {
     nh_key_[i] = load_le32(nh_key.data() + 4 * i);
   }

@@ -2,7 +2,7 @@
 
 #include <memory>
 
-#include <cassert>
+#include "common/check.h"
 
 namespace ibsec::fabric {
 
@@ -56,14 +56,19 @@ void OutputPort::connect(Device* peer, int peer_port) {
 
 void OutputPort::enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
                          DispatchHook on_dispatch) {
-  assert(vl < vl_queues_.size());
+  IBSEC_CHECK(vl < vl_queues_.size())
+      << "port " << name_ << " enqueue on unconfigured VL "
+      << static_cast<int>(vl);
   vl_queues_[vl].push_back(QueuedPacket{std::move(pkt), std::move(on_dispatch)});
   try_dispatch();
 }
 
 void OutputPort::credit_return(ib::VirtualLane vl, std::size_t bytes) {
   credits_[vl] += bytes;
-  assert(credits_[vl] <= params_.buffer_bytes_per_vl);
+  IBSEC_CHECK(credits_[vl] <= params_.buffer_bytes_per_vl)
+      << "port " << name_ << " VL " << static_cast<int>(vl)
+      << " credit overflow: " << credits_[vl] << " > "
+      << params_.buffer_bytes_per_vl;
   try_dispatch();
 }
 
@@ -142,7 +147,10 @@ void OutputPort::try_dispatch() {
 
     const std::size_t bytes = entry.pkt.wire_size();
     if (vl != ib::kManagementVl) {
-      assert(credits_[vl] >= bytes);
+      IBSEC_CHECK(credits_[vl] >= bytes)
+          << "port " << name_ << " VL " << static_cast<int>(vl)
+          << " dispatching " << bytes << " bytes with only " << credits_[vl]
+          << " credits";
       credits_[vl] -= bytes;
       arbiter_.on_sent(vl, bytes);
     }
@@ -220,11 +228,16 @@ void InputPort::accept(const ib::Packet& pkt, ib::VirtualLane vl) {
   used_[vl] += pkt.wire_size();
   // VL15 is not flow controlled, so its buffer may notionally overflow; data
   // VLs must never exceed the advertised credit pool.
-  assert(vl == ib::kManagementVl || used_[vl] <= params_.buffer_bytes_per_vl);
+  IBSEC_CHECK(vl == ib::kManagementVl ||
+              used_[vl] <= params_.buffer_bytes_per_vl)
+      << "input buffer overrun on VL " << static_cast<int>(vl) << ": "
+      << used_[vl] << " > " << params_.buffer_bytes_per_vl;
 }
 
 void InputPort::release_bytes(std::size_t bytes, ib::VirtualLane vl) {
-  assert(used_[vl] >= bytes);
+  IBSEC_CHECK(used_[vl] >= bytes)
+      << "releasing " << bytes << " bytes from VL " << static_cast<int>(vl)
+      << " holding only " << used_[vl];
   used_[vl] -= bytes;
   if (upstream_ != nullptr && vl != ib::kManagementVl) {
     // The credit update travels back over the link.

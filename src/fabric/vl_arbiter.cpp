@@ -1,5 +1,7 @@
 #include "fabric/vl_arbiter.h"
 
+#include "common/check.h"
+
 namespace ibsec::fabric {
 
 VlArbitrationConfig VlArbitrationConfig::paper_default(int num_vls) {
@@ -28,6 +30,8 @@ VlArbiter::VlArbiter(VlArbitrationConfig config) {
 int VlArbiter::pick_from(TableState& table,
                          const std::function<bool(ib::VirtualLane)>& sendable) {
   if (table.empty()) return -1;
+  IBSEC_DCHECK(table.index < table.entries.size());
+  IBSEC_DCHECK(table.remaining <= table.entries[table.index].weight);
   // Start at the current WRR position; if its weight is spent or it cannot
   // send, walk forward. One full loop means nothing is sendable.
   for (std::size_t scanned = 0; scanned < table.entries.size(); ++scanned) {
@@ -56,6 +60,9 @@ void VlArbiter::on_sent(ib::VirtualLane vl, std::size_t bytes) {
   if (last_table_ == nullptr || last_table_->empty()) return;
   TableState& table = *last_table_;
   if (table.entries[table.index].vl != vl) return;  // stale notification
+  IBSEC_CHECK(table.remaining > 0)
+      << "WRR grant charged to VL " << static_cast<int>(vl)
+      << " with no remaining weight";
   const auto units =
       static_cast<std::uint32_t>((bytes + 63) / 64);  // 64-byte weight units
   if (units >= table.remaining) {

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "ib/types.h"
@@ -54,7 +54,9 @@ class MemoryRegionTable {
   std::size_t size() const { return regions_.size(); }
 
  private:
-  std::unordered_map<RKeyValue, MemoryRegion> regions_;
+  // Key-ordered so traversal (snapshots, iteration in future audits) is a
+  // deterministic function of the registered regions, not of hash layout.
+  std::map<RKeyValue, MemoryRegion> regions_;
 };
 
 /// A port's partition table: the set of P_Keys it is a member of

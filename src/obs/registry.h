@@ -17,6 +17,14 @@
 // Disabling a registry (set_enabled(false) *before* components are built)
 // hands out handles to private sink metrics: recording degenerates to one
 // dead store and the snapshot stays empty.
+//
+// Thread-safety: a Registry and every handle it hands out are deliberately
+// NOT thread-safe — no atomics, no locks, by design: metrics record on the
+// simulator hot path, and a Registry is owned by exactly one Simulator,
+// which is single-threaded. Parallel sweeps give each worker its own
+// Simulator (and thus Registry); workers must never record into or
+// snapshot another worker's registry. The CI TSan lane runs the
+// multi-worker sweep tests to keep that ownership rule honest.
 #pragma once
 
 #include <cstdint>

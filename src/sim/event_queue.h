@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/check.h"
 #include "common/time.h"
 
 namespace ibsec::sim {
@@ -32,11 +33,15 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  SimTime next_time() const { return heap_.front().time; }
+  SimTime next_time() const {
+    IBSEC_DCHECK(!heap_.empty());
+    return heap_.front().time;
+  }
 
   /// Removes and returns the earliest event's callback, advancing nothing
   /// else; the Simulator owns the clock.
   Callback pop(SimTime& time_out) {
+    IBSEC_DCHECK(!heap_.empty());
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Event ev = std::move(heap_.back());
     heap_.pop_back();

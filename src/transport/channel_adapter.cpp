@@ -1,5 +1,7 @@
 #include "transport/channel_adapter.h"
 
+#include "common/check.h"
+
 namespace ibsec::transport {
 namespace {
 
@@ -624,11 +626,18 @@ void ChannelAdapter::rc_submit(QueuePair& qp, ib::Packet&& pkt) {
 }
 
 void ChannelAdapter::rc_transmit(QueuePair& qp, ib::Packet&& pkt) {
+  IBSEC_CHECK(qp.rc_tx.window.size() < rc_config_.max_outstanding)
+      << "RC window overflow on QP " << qp.qpn << ": "
+      << qp.rc_tx.window.size() << " outstanding";
   const bool was_empty = qp.rc_tx.window.empty();
   const ib::Psn psn = pkt.bth.psn;
   ib::Packet copy = pkt;
-  qp.rc_tx.window.emplace(
-      psn, RcSendEntry{std::move(pkt), fabric_.simulator().now()});
+  const bool inserted =
+      qp.rc_tx.window
+          .emplace(psn, RcSendEntry{std::move(pkt), fabric_.simulator().now()})
+          .second;
+  IBSEC_CHECK(inserted) << "PSN " << psn << " already in RC window of QP "
+                        << qp.qpn;
   sign_and_send(std::move(copy));
   if (was_empty) arm_rc_timer(qp);
 }
@@ -640,6 +649,8 @@ void ChannelAdapter::rc_release_pending(QueuePair& qp) {
     qp.rc_tx.pending.pop_front();
     rc_transmit(qp, std::move(pkt));
   }
+  IBSEC_DCHECK(qp.rc_tx.pending.empty() ||
+               qp.rc_tx.window.size() >= rc_config_.max_outstanding);
 }
 
 void ChannelAdapter::arm_rc_timer(QueuePair& qp) {
@@ -659,6 +670,7 @@ void ChannelAdapter::on_rc_timeout(ib::Qpn qpn, std::uint64_t generation) {
     return;
   }
   ++qp->rc_tx.retry_count;
+  IBSEC_DCHECK(qp->rc_tx.retry_count <= rc_config_.max_retries + 1);
   if (qp->rc_tx.retry_count > rc_config_.max_retries) {
     rc_fail(*qp);
     return;

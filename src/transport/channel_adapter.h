@@ -17,7 +17,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "crypto/ctr_drbg.h"
@@ -267,9 +266,14 @@ class ChannelAdapter {
   ib::PartitionTable partition_table_;
   ib::NodeKeys node_keys_;
   ib::MemoryRegionTable memory_table_;
-  std::unordered_map<ib::RKeyValue, std::vector<std::uint8_t>> memory_;
+  // Every CA-side table below is key-ordered (std::map): any future
+  // traversal — QP audits, snapshot dumps, bulk teardown — is then a
+  // deterministic function of the keys, never of hash-bucket layout. These
+  // tables are small and off the per-packet hot path (lookups are
+  // per-message or lazily cached), so the O(log n) cost is noise.
+  std::map<ib::RKeyValue, std::vector<std::uint8_t>> memory_;
 
-  std::unordered_map<ib::Qpn, QueuePair> qps_;
+  std::map<ib::Qpn, QueuePair> qps_;
   ib::Qpn next_qpn_ = 2;  // 0/1 reserved for management
 
   std::vector<MadHandler> mad_handlers_;
@@ -286,11 +290,11 @@ class ChannelAdapter {
     bool active = false;
     std::vector<std::uint8_t> data;
   };
-  std::unordered_map<ib::Qpn, Reassembly> reassembly_;
+  std::map<ib::Qpn, Reassembly> reassembly_;
   // Outstanding RDMA READs keyed by (local QPN, request PSN).
   std::map<std::pair<ib::Qpn, ib::Psn>, std::pair<std::uint64_t, std::uint32_t>>
       outstanding_reads_;
-  std::unordered_map<std::uint32_t, std::uint32_t> port_attributes_;
+  std::map<std::uint32_t, std::uint32_t> port_attributes_;
   Counters counters_;
   std::uint64_t next_message_id_ = 1;
 
@@ -330,7 +334,7 @@ class ChannelAdapter {
   /// Lazily-created per-QP Q_Key-violation counters (satellite of the
   /// invariant suite: QueuePair::dropped_bad_qkey used to be invisible to
   /// --metrics).
-  std::unordered_map<ib::Qpn, obs::Counter*> qkey_drop_obs_;
+  std::map<ib::Qpn, obs::Counter*> qkey_drop_obs_;
 };
 
 }  // namespace ibsec::transport

@@ -7,8 +7,8 @@
 // public key at bring-up; private keys never leave the owning CA.
 #pragma once
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "crypto/rsa.h"
 
@@ -29,7 +29,9 @@ class PkiDirectory {
   std::size_t size() const { return keys_.size(); }
 
  private:
-  std::unordered_map<int, crypto::RsaPublicKey> keys_;
+  // Node-ordered: directory walks (bulk key distribution, audits) must not
+  // depend on hash iteration order.
+  std::map<int, crypto::RsaPublicKey> keys_;
 };
 
 }  // namespace ibsec::transport

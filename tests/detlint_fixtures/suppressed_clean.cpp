@@ -1,0 +1,25 @@
+// detlint fixture: every hazard below carries a valid IBSEC_DETLINT_ALLOW,
+// so the file must scan clean. Never compiled — scanned by test_detlint.
+#include <chrono>
+#include <unordered_map>
+
+struct ScratchIndex {
+  // Lookup-only: nothing ever iterates this table, so hash order is moot.
+  // IBSEC_DETLINT_ALLOW(unordered-container)
+  std::unordered_map<int, int> lookup;
+};
+
+long bench_now_ns() {
+  // Benchmark harness timing, never simulation state.
+  auto t = std::chrono::steady_clock::now();  // IBSEC_DETLINT_ALLOW(wall-clock)
+  return t.time_since_epoch().count();
+}
+
+int draw(int* state) {
+  *state = *state * 1103515245 + 12345;
+  // A comment merely *mentioning* rand(), time() or std::unordered_set
+  // must not trigger anything, and neither must the string below.
+  const char* msg = "do not call rand() or time() here";
+  (void)msg;
+  return *state;
+}

@@ -1,0 +1,16 @@
+// detlint fixture: must trigger `pointer-keyed-container` (two) and
+// `raw-assert` (one). Never compiled — scanned by test_detlint.
+#include <cassert>
+#include <map>
+#include <set>
+
+struct Port;
+
+struct Fabric {
+  std::map<Port*, int> port_index;  // finding: pointer-keyed-container
+  std::set<const Port*> active;     // finding: pointer-keyed-container
+};
+
+void check_fabric(const Fabric& f) {
+  assert(f.port_index.size() >= f.active.size());  // finding: raw-assert
+}

@@ -1,0 +1,14 @@
+// detlint fixture: must trigger `raw-rand` (three) and `wall-clock` (two).
+// Never compiled — scanned by test_detlint.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int jitter() {
+  std::random_device rd;                       // finding: raw-rand
+  std::mt19937 gen(rd());                      // finding: raw-rand
+  srand(42);                                   // finding: raw-rand
+  auto t0 = std::chrono::steady_clock::now();  // finding: wall-clock
+  (void)t0;
+  return static_cast<int>(time(nullptr));      // finding: wall-clock
+}

@@ -1,0 +1,9 @@
+// detlint fixture: must trigger `unordered-container` (twice) and nothing
+// else. Never compiled — scanned by test_detlint.
+#include <unordered_map>
+#include <unordered_set>
+
+struct RouteCache {
+  std::unordered_map<int, int> next_hop;  // finding: unordered-container
+  std::unordered_set<int> seen;           // finding: unordered-container
+};

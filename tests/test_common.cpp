@@ -1,11 +1,13 @@
 // Tests for src/common: RNG determinism and distributions, statistics
-// accumulators, hex codec, thread pool.
+// accumulators, hex codec, thread pool, and the IBSEC_CHECK contract
+// library.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <set>
 
+#include "common/check.h"
 #include "common/hex.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -252,6 +254,92 @@ TEST(ThreadPool, TasksCanSubmitTasks) {
   });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 10);
+}
+
+// --- contract library (common/check.h) ---------------------------------------
+
+// Captures failures instead of aborting, restoring the previous handler on
+// scope exit so an expectation failure never leaks the override.
+class CheckCapture {
+ public:
+  CheckCapture() { prev_ = set_check_failure_handler(&record); }
+  ~CheckCapture() { set_check_failure_handler(prev_); }
+
+  static int hits;
+  static std::string last_message;
+  static std::string last_expr;
+
+ private:
+  static void record(const CheckContext& ctx) {
+    ++hits;
+    last_expr = ctx.expr;
+    last_message = ctx.message;
+  }
+  CheckFailureHandler prev_;
+};
+
+int CheckCapture::hits = 0;
+std::string CheckCapture::last_message;
+std::string CheckCapture::last_expr;
+
+TEST(Check, PassingCheckIsSilent) {
+  CheckCapture capture;
+  CheckCapture::hits = 0;
+  IBSEC_CHECK(1 + 1 == 2) << "never built";
+  EXPECT_EQ(CheckCapture::hits, 0);
+}
+
+TEST(Check, FailingCheckReportsExpressionAndMessage) {
+  CheckCapture capture;
+  CheckCapture::hits = 0;
+  const std::uint64_t before = check_failure_count();
+  const int vl = 3;
+  IBSEC_CHECK(vl < 2) << "vl=" << vl << " out of range";
+  EXPECT_EQ(CheckCapture::hits, 1);
+  EXPECT_EQ(CheckCapture::last_expr, "vl < 2");
+  EXPECT_EQ(CheckCapture::last_message, "vl=3 out of range");
+  EXPECT_EQ(check_failure_count(), before + 1);
+}
+
+TEST(Check, MessageIsLazyOnSuccess) {
+  CheckCapture capture;
+  int streamed = 0;
+  const auto cost = [&streamed] {
+    ++streamed;
+    return 1;
+  };
+  IBSEC_CHECK(true) << cost();
+  EXPECT_EQ(streamed, 0);  // the stream arm is never evaluated
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+  CheckCapture capture;
+  CheckCapture::hits = 0;
+  IBSEC_DCHECK(false) << "debug-only";
+#ifdef NDEBUG
+  EXPECT_EQ(CheckCapture::hits, 0);
+#else
+  EXPECT_EQ(CheckCapture::hits, 1);
+#endif
+}
+
+TEST(Check, DcheckDoesNotEvaluateConditionInRelease) {
+  CheckCapture capture;
+  int evaluated = 0;
+  const auto probe = [&evaluated] {
+    ++evaluated;
+    return true;
+  };
+  IBSEC_DCHECK(probe());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluated, 0);
+#else
+  EXPECT_EQ(evaluated, 1);
+#endif
+}
+
+TEST(CheckDeath, DefaultHandlerAborts) {
+  EXPECT_DEATH({ IBSEC_CHECK(false) << "fatal"; }, "IBSEC_CHECK failed");
 }
 
 }  // namespace

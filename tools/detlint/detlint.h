@@ -1,0 +1,87 @@
+// detlint — the repo's determinism linter.
+//
+// The simulator's headline guarantee is byte-identical replay: the same
+// (topology, seed) produces the same event trace, metrics snapshot, and
+// experiment tables on any host, at any sweep worker count. test_determinism
+// checks that end-to-end; detlint enforces it at the source level by
+// scanning src/ for the constructs that historically break it:
+//
+//   unordered-container      std::unordered_map / std::unordered_set (and
+//                            multi variants): hash iteration order is
+//                            unspecified and differs across standard
+//                            libraries, so any traversal that reaches sim
+//                            state or snapshots is a latent heisenbug.
+//   raw-rand                 rand()/std::random_device/std::mt19937 & co.
+//                            outside common/rng.*: unseeded or
+//                            implementation-defined randomness. Workload
+//                            randomness must come from ibsec::Rng, key
+//                            material from crypto::CtrDrbg.
+//   wall-clock               system_clock / steady_clock / time(nullptr) /
+//                            gettimeofday...: wall time must never feed
+//                            simulation logic; SimTime is the only clock.
+//   pointer-keyed-container  std::map/std::set keyed by a pointer: ordered,
+//                            but by allocation address — iteration order
+//                            changes run to run.
+//   raw-assert               assert() outside common/check.h: compiles away
+//                            under NDEBUG, so release builds lose the
+//                            invariant. Use IBSEC_CHECK / IBSEC_DCHECK.
+//
+// Suppression grammar: a comment naming one or more rules (comma-separated)
+// on the same line as the finding, or on the line directly above, waives it:
+//
+//   // IBSEC_DETLINT_ALLOW(wall-clock)  benchmark harness, not sim state
+//   // IBSEC_DETLINT_ALLOW(raw-rand, wall-clock)
+//
+// Naming an unknown rule is itself reported (rule "bad-allow") so typos
+// cannot silently waive everything. Comments and string literals are
+// lexed away before matching, so prose mentioning unordered_map is fine.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibsec::detlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+  std::string snippet;  ///< the offending source line, whitespace-trimmed
+
+  bool operator==(const Finding&) const = default;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// Every rule detlint knows, in reporting order.
+const std::vector<RuleInfo>& rules();
+bool is_known_rule(std::string_view name);
+
+/// Scans one translation unit. `path` is used for exemptions (common/rng.*
+/// may use raw randomness; common/check.h may discuss assert) and for the
+/// findings' file field; `content` is the full source text.
+std::vector<Finding> scan_source(std::string_view path,
+                                 std::string_view content);
+
+/// Scans a file, or every *.h/*.hpp/*.cpp/*.cc/*.cxx under a directory
+/// (recursively, in sorted path order — the linter is itself deterministic).
+/// Returns false when `path` does not exist or a file cannot be read; an
+/// explanation is appended to `error`.
+bool scan_path(const std::string& path, std::vector<Finding>& findings,
+               std::string& error);
+
+/// Sorts findings by (file, line, rule) — the canonical output order.
+void sort_findings(std::vector<Finding>& findings);
+
+/// Human-readable report, one finding per line plus a summary.
+std::string to_text(const std::vector<Finding>& findings);
+
+/// Machine-readable report: {"findings":[{file,line,rule,message,snippet}]}.
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace ibsec::detlint

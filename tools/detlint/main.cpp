@@ -1,0 +1,67 @@
+// detlint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   detlint [--format=text|json] [--list-rules] <path>...
+//
+// Each path may be a file or a directory (scanned recursively for C++
+// sources). CI runs `detlint src/`; the cmake `lint` target wraps that.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: detlint [--format=text|json] [--list-rules] "
+               "<path>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::vector<std::string> paths;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return usage();
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    for (const auto& rule : ibsec::detlint::rules()) {
+      std::printf("%-24s %s\n", std::string(rule.name).c_str(),
+                  std::string(rule.summary).c_str());
+    }
+    return 0;
+  }
+  if (paths.empty()) return usage();
+
+  std::vector<ibsec::detlint::Finding> findings;
+  std::string error;
+  bool ok = true;
+  for (const std::string& path : paths) {
+    ok = ibsec::detlint::scan_path(path, findings, error) && ok;
+  }
+  ibsec::detlint::sort_findings(findings);
+  if (!ok) {
+    std::fprintf(stderr, "detlint: %s", error.c_str());
+    return 2;
+  }
+  const std::string report = format == "json"
+                                 ? ibsec::detlint::to_json(findings)
+                                 : ibsec::detlint::to_text(findings);
+  std::printf("%s%s", report.c_str(),
+              report.empty() || report.back() == '\n' ? "" : "\n");
+  return findings.empty() ? 0 : 1;
+}
