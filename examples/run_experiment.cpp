@@ -43,7 +43,12 @@ void usage(const char* prog) {
       "link=sw1.out3:drop=0.5;flap=sw1.out3:100us-300us;dead-switch=5'\n"
       "  --rc-load F          RC message load fraction; enables the RC\n"
       "                       reliability protocol and streams (default off)\n"
-      "  --trace FILE         write a per-packet CSV trace\n"
+      "  --trace FILE         write a Chrome trace_event JSON (open in Perfetto)\n"
+      "  --trace-sample N     trace every Nth packet (default 1 = every packet)\n"
+      "  --breakdown FILE     write the per-packet latency-breakdown CSV\n"
+      "  --timeseries FILE    write the fixed-dt counter/gauge time-series CSV\n"
+      "  --timeseries-dt NS   time-series bucket width in ns (default 10000)\n"
+      "  --packet-csv FILE    write the per-packet delivery CSV\n"
       "  --metrics FILE       dump the metrics snapshot (.json = JSON, else CSV)\n",
       prog);
 }
@@ -54,10 +59,21 @@ bool parse_double(const char* s, double& out) {
   return end != s && *end == '\0';
 }
 
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = body.empty() ||
+                  std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path;
+  std::string packet_csv_path;
+  std::string chrome_trace_path;
+  std::string breakdown_path;
+  std::string timeseries_path;
   std::string metrics_path;
   workload::ScenarioConfig cfg;
   cfg.seed = 1;
@@ -145,7 +161,23 @@ int main(int argc, char** argv) {
       cfg.enable_rc_messages = value > 0;
       cfg.rc.enabled = value > 0;
     } else if (arg == "--trace") {
-      trace_path = next();
+      chrome_trace_path = next();
+      cfg.trace.enabled = true;
+    } else if (arg == "--trace-sample") {
+      cfg.trace.sample_every = std::strtoull(next(), nullptr, 10);
+      if (cfg.trace.sample_every == 0) cfg.trace.sample_every = 1;
+    } else if (arg == "--breakdown") {
+      breakdown_path = next();
+      cfg.trace.enabled = true;
+    } else if (arg == "--timeseries") {
+      timeseries_path = next();
+      if (cfg.timeseries_dt == 0) {
+        cfg.timeseries_dt = 10 * time_literals::kMicrosecond;
+      }
+    } else if (arg == "--timeseries-dt" && parse_double(next(), value)) {
+      cfg.timeseries_dt = static_cast<SimTime>(value * 1000.0);  // ns -> ps
+    } else if (arg == "--packet-csv") {
+      packet_csv_path = next();
     } else if (arg == "--metrics") {
       metrics_path = next();
     } else {
@@ -177,9 +209,12 @@ int main(int argc, char** argv) {
                 cfg.rc.max_retries, cfg.rc.max_outstanding);
   }
 
+  // Sampling keyed off the scenario seed: same seed, same traced subset.
+  cfg.trace.sample_seed = cfg.seed;
+
   workload::Scenario scenario(cfg);
   workload::PacketTraceRecorder trace;
-  if (!trace_path.empty()) {
+  if (!packet_csv_path.empty()) {
     for (int node = 0; node < scenario.fabric().node_count(); ++node) {
       scenario.ca(node).set_delivery_probe([&](const ib::Packet& pkt) {
         scenario.metrics().record(pkt);
@@ -197,14 +232,28 @@ int main(int argc, char** argv) {
                    metrics_path.c_str());
     }
   }
-  if (!trace_path.empty()) {
-    if (trace.write_csv_file(trace_path)) {
-      std::printf("trace: wrote %zu rows to %s\n", trace.rows().size(),
-                  trace_path.c_str());
+  if (!packet_csv_path.empty()) {
+    if (trace.write_csv_file(packet_csv_path)) {
+      std::printf("packet-csv: wrote %zu rows to %s\n", trace.rows().size(),
+                  packet_csv_path.c_str());
     } else {
-      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+      std::fprintf(stderr, "packet-csv: failed to write %s\n",
+                   packet_csv_path.c_str());
     }
   }
+  const auto write_out = [](const char* what, const std::string& path,
+                            const std::string& body) {
+    if (path.empty()) return;
+    if (write_text_file(path, body)) {
+      std::printf("%s: wrote %zu bytes to %s\n", what, body.size(),
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "%s: failed to write %s\n", what, path.c_str());
+    }
+  };
+  write_out("trace", chrome_trace_path, r.trace_json);
+  write_out("breakdown", breakdown_path, r.trace_breakdown_csv);
+  write_out("timeseries", timeseries_path, r.timeseries_csv);
 
   const auto print_class = [](const char* name,
                               const workload::ClassMetrics& m) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace ibsec {
 namespace {
@@ -19,6 +20,29 @@ std::atomic<std::uint64_t> g_failure_count{0};
 
 std::atomic<CheckFailureHandler> g_handler{&default_handler};
 
+// The dump hook is a (fn, ctx) pair that must be read consistently, so it
+// lives behind a mutex instead of two independently-torn atomics. The
+// failure path is cold; a lock there costs nothing.
+std::mutex g_dump_mutex;
+CheckFailureDump g_dump_fn = nullptr;
+void* g_dump_ctx = nullptr;
+// Suppresses a check failing *inside* a dump from recursing forever.
+std::atomic<bool> g_in_dump{false};
+
+void run_failure_dump() {
+  CheckFailureDump fn = nullptr;
+  void* ctx = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_dump_mutex);
+    fn = g_dump_fn;
+    ctx = g_dump_ctx;
+  }
+  if (fn == nullptr) return;
+  if (g_in_dump.exchange(true)) return;
+  fn(ctx);
+  g_in_dump.store(false);
+}
+
 }  // namespace
 
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
@@ -30,11 +54,18 @@ std::uint64_t check_failure_count() {
   return g_failure_count.load(std::memory_order_relaxed);
 }
 
+void set_check_failure_dump(CheckFailureDump fn, void* ctx) {
+  std::lock_guard<std::mutex> lock(g_dump_mutex);
+  g_dump_fn = fn;
+  g_dump_ctx = ctx;
+}
+
 namespace detail {
 
 CheckFailure::~CheckFailure() {
   CheckContext ctx{file_, line_, expr_, stream_.str()};
   g_failure_count.fetch_add(1, std::memory_order_relaxed);
+  run_failure_dump();
   g_handler.load()(ctx);
 }
 

@@ -56,6 +56,15 @@ CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
 /// invariant is a property of the build, not of one Simulator).
 std::uint64_t check_failure_count();
 
+/// Optional post-mortem dump hook, invoked (with `ctx`) after the failure
+/// counter bumps but *before* the failure handler runs — i.e. before the
+/// default handler aborts the process. The obs flight recorder registers
+/// itself here so a fatal contract violation prints the last trace events
+/// to stderr. Process-global like the handler; reentrant failures inside a
+/// dump are suppressed. Pass (nullptr, nullptr) to uninstall.
+using CheckFailureDump = void (*)(void* ctx);
+void set_check_failure_dump(CheckFailureDump fn, void* ctx);
+
 namespace detail {
 
 /// Builds the failure message via operator<< and fires the handler from its

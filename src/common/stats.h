@@ -59,6 +59,11 @@ class Histogram {
   /// within the bucket). fraction in [0,1].
   double percentile(double fraction) const;
 
+  /// Tail-latency shorthands for the percentiles every report wants.
+  double p50() const { return percentile(0.50); }
+  double p99() const { return percentile(0.99); }
+  double p999() const { return percentile(0.999); }
+
  private:
   double width_;
   std::vector<std::uint64_t> counts_;

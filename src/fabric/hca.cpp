@@ -20,6 +20,14 @@ void Hca::set_upstream(OutputPort* upstream) {
 
 void Hca::send(ib::Packet&& pkt) {
   if (pkt.meta.created_at < 0) pkt.meta.created_at = sim_.now();
+  // Packets built by a ChannelAdapter carry a trace id already; raw
+  // injections (attackers, tests driving the HCA directly) get theirs here
+  // so every wire packet has a lifecycle.
+  if (sim_.trace().enabled() && pkt.meta.trace_id == 0) {
+    pkt.meta.trace_id = sim_.trace().new_packet(
+        node_id_, static_cast<int>(pkt.meta.dst_node),
+        static_cast<int>(pkt.meta.traffic_class), sim_.now());
+  }
   ++packets_sent_;
   obs_injected_->inc();
   const ib::VirtualLane vl = pkt.lrh.vl;

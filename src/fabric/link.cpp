@@ -44,7 +44,9 @@ OutputPort::OutputPort(sim::Simulator& simulator, const LinkParams& params,
   obs_dropped_ = &reg.counter(prefix + "faults.dropped");
   obs_flap_dropped_ = &reg.counter(prefix + "faults.flap_dropped");
   obs_credit_stall_ = &reg.time_accumulator(prefix + "credit_stall");
+  obs_queue_depth_ = &reg.gauge(prefix + "queue_depth");
   obs_vl_dispatched_.assign(static_cast<std::size_t>(params.num_vls), nullptr);
+  obs_vl_depth_.assign(static_cast<std::size_t>(params.num_vls), nullptr);
   arbiter_.set_obs(&reg.counter(prefix + "arb.high_grants"),
                    &reg.counter(prefix + "arb.low_grants"));
 }
@@ -59,8 +61,25 @@ void OutputPort::enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
   IBSEC_CHECK(vl < vl_queues_.size())
       << "port " << name_ << " enqueue on unconfigured VL "
       << static_cast<int>(vl);
-  vl_queues_[vl].push_back(QueuedPacket{std::move(pkt), std::move(on_dispatch)});
+  vl_queues_[vl].push_back(
+      QueuedPacket{std::move(pkt), std::move(on_dispatch), sim_.now()});
+  obs_queue_depth_->add(1);
+  obs::Gauge*& vl_depth = obs_vl_depth_[vl];
+  if (vl_depth == nullptr) {
+    vl_depth = &sim_.obs().gauge("link." + name_ + ".vl." +
+                                 std::to_string(static_cast<int>(vl)) +
+                                 ".queue_depth");
+  }
+  vl_depth->add(1);
   try_dispatch();
+}
+
+OutputPort::QueuedPacket OutputPort::pop_front(ib::VirtualLane vl) {
+  QueuedPacket entry = std::move(vl_queues_[vl].front());
+  vl_queues_[vl].pop_front();
+  obs_queue_depth_->add(-1);
+  obs_vl_depth_[vl]->add(-1);  // enqueue resolved the gauge already
+  return entry;
 }
 
 void OutputPort::credit_return(ib::VirtualLane vl, std::size_t bytes) {
@@ -126,10 +145,14 @@ void OutputPort::try_dispatch() {
     // credits are consumed (the far buffer never sees the packet) and the
     // line is not busied — loop for the next queued packet.
     if (faults_.down_at(sim_.now())) {
-      QueuedPacket entry = std::move(vl_queues_[vl].front());
-      vl_queues_[vl].pop_front();
+      QueuedPacket entry = pop_front(vl);
       ++packets_flap_dropped_;
       obs_flap_dropped_->inc();
+      if (sim_.trace().enabled() && entry.pkt.meta.trace_id != 0) {
+        sim_.trace().instant(entry.pkt.meta.trace_id,
+                             obs::TraceEventType::kLinkFault, -1, sim_.now(),
+                             "flap:" + name_);
+      }
       if (entry.on_dispatch) entry.on_dispatch(entry.pkt);
       continue;
     }
@@ -142,8 +165,7 @@ void OutputPort::try_dispatch() {
     }
     vl_counter->inc();
 
-    QueuedPacket entry = std::move(vl_queues_[vl].front());
-    vl_queues_[vl].pop_front();
+    QueuedPacket entry = pop_front(vl);
 
     const std::size_t bytes = entry.pkt.wire_size();
     if (vl != ib::kManagementVl) {
@@ -157,7 +179,8 @@ void OutputPort::try_dispatch() {
 
     // First wire entry only — switches re-dispatch the packet at every hop,
     // but injection time means "left the source HCA".
-    if (entry.pkt.meta.injected_at < 0) {
+    const bool first_injection = entry.pkt.meta.injected_at < 0;
+    if (first_injection) {
       entry.pkt.meta.injected_at = sim_.now();
     }
     if (entry.on_dispatch) entry.on_dispatch(entry.pkt);
@@ -165,6 +188,21 @@ void OutputPort::try_dispatch() {
     const SimTime tx_time = serialization_time_ps(
         static_cast<std::int64_t>(bytes), params_.bandwidth_bps);
     line_busy_ = true;
+
+    if (sim_.trace().enabled() && entry.pkt.meta.trace_id != 0) {
+      obs::TraceRecorder& trace = sim_.trace();
+      const std::uint64_t id = entry.pkt.meta.trace_id;
+      if (sim_.now() > entry.enqueued_at) {
+        trace.span(id, obs::TraceEventType::kQueueWait, -1, entry.enqueued_at,
+                   sim_.now() - entry.enqueued_at, name_);
+      }
+      if (first_injection) {
+        trace.instant(id, obs::TraceEventType::kInject, -1, sim_.now(), name_,
+                      static_cast<std::int64_t>(vl));
+      }
+      trace.span(id, obs::TraceEventType::kSerialize, -1, sim_.now(), tx_time,
+                 name_);
+    }
 
     // Delivery of the last byte at the peer happens after serialization plus
     // propagation; the line frees after serialization alone.
@@ -185,6 +223,11 @@ void OutputPort::try_dispatch() {
     if (faults_.drop_rate > 0.0 && fault_rng_.bernoulli(faults_.drop_rate)) {
       ++packets_dropped_;
       obs_dropped_->inc();
+      if (sim_.trace().enabled() && entry.pkt.meta.trace_id != 0) {
+        sim_.trace().instant(entry.pkt.meta.trace_id,
+                             obs::TraceEventType::kLinkFault, -1, sim_.now(),
+                             "drop:" + name_);
+      }
       if (vl != ib::kManagementVl) {
         sim_.after(tx_time + 2 * params_.propagation, [this, vl, bytes] {
           credit_return(vl, bytes);
@@ -199,6 +242,11 @@ void OutputPort::try_dispatch() {
         fault_rng_.bernoulli(faults_.corruption_rate)) {
       ++packets_corrupted_;
       obs_corrupted_->inc();
+      if (sim_.trace().enabled() && entry.pkt.meta.trace_id != 0) {
+        sim_.trace().instant(entry.pkt.meta.trace_id,
+                             obs::TraceEventType::kLinkFault, -1, sim_.now(),
+                             "corrupt:" + name_);
+      }
       if (!entry.pkt.payload.empty()) {
         const std::size_t at = fault_rng_.uniform(entry.pkt.payload.size());
         entry.pkt.payload[at] ^=

@@ -84,9 +84,12 @@ class OutputPort {
   struct QueuedPacket {
     ib::Packet pkt;
     DispatchHook on_dispatch;
+    SimTime enqueued_at = 0;  ///< for the VL-arbitration-wait trace span
   };
 
   void try_dispatch();
+  /// Removes the head of `vl`'s queue, keeping the depth gauges honest.
+  QueuedPacket pop_front(ib::VirtualLane vl);
   /// VL15 first (exempt from arbitration and flow control), then the
   /// weighted arbitration tables; -1 if nothing can send.
   int arbitrate();
@@ -122,6 +125,11 @@ class OutputPort {
   obs::Counter* obs_flap_dropped_ = nullptr;
   obs::TimeAccumulator* obs_credit_stall_ = nullptr;
   std::vector<obs::Counter*> obs_vl_dispatched_;
+  // Queue-depth gauges (current + high-water): the whole port eagerly, each
+  // VL lazily on first use — the per-VL depth series is what the
+  // TimeSeriesSampler plots for the DoS experiments.
+  obs::Gauge* obs_queue_depth_ = nullptr;
+  std::vector<obs::Gauge*> obs_vl_depth_;
   SimTime stall_since_ = -1;
 
  public:

@@ -62,10 +62,16 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   const ib::VirtualLane vl = pkt.lrh.vl;
   input.accept(pkt, vl);
 
+  obs::TraceRecorder& trace = sim_.trace();
+  const std::uint64_t trace_id =
+      trace.enabled() ? pkt.meta.trace_id : 0;
+
   // A dead switch (FaultCampaign) eats everything before any processing.
   if (dead_) {
     ++stats_.dropped_dead;
     obs_.drop_dead->inc();
+    trace.instant(trace_id, obs::TraceEventType::kSwitchDrop, id_, sim_.now(),
+                  "dead");
     input.release(pkt, vl);
     return;
   }
@@ -74,6 +80,8 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   if (!pkt.vcrc_valid()) {
     ++stats_.dropped_vcrc;
     obs_.drop_vcrc->inc();
+    trace.instant(trace_id, obs::TraceEventType::kSwitchDrop, id_, sim_.now(),
+                  "vcrc");
     input.release(pkt, vl);
     return;
   }
@@ -88,6 +96,8 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
         !limiter->consume(pkt.wire_size(), sim_.now())) {
       ++stats_.dropped_rate_limited;
       obs_.drop_rate_limited->inc();
+      trace.instant(trace_id, obs::TraceEventType::kSwitchDrop, id_,
+                    sim_.now(), "rate_limited");
       input.release(pkt, vl);
       return;
     }
@@ -103,6 +113,10 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   const SimTime delay =
       config_.switch_cycle() *
       (config_.switch_pipeline_cycles + decision.lookup_cycles);
+  // One span per crossing: pipeline latency plus the filter lookup, with
+  // the filter verdict in the detail.
+  trace.span(trace_id, obs::TraceEventType::kSwitch, id_, sim_.now(), delay,
+             decision.allow ? "pass" : "pkey_fail");
 
   auto shared = std::make_shared<ib::Packet>(std::move(pkt));
   sim_.after(delay, [this, shared, in_port, decision]() mutable {
@@ -111,6 +125,9 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
     if (!decision.allow) {
       ++stats_.dropped_filter;
       obs_.drop_pkey->inc();
+      sim_.trace().instant(sim_.trace().enabled() ? shared->meta.trace_id : 0,
+                           obs::TraceEventType::kSwitchDrop, id_, sim_.now(),
+                           "pkey");
       in.release(*shared, pvl);
       return;
     }
@@ -118,6 +135,9 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
     if (out_port < 0 || out_port >= num_ports() || out_port == in_port) {
       ++stats_.dropped_no_route;
       obs_.drop_no_route->inc();
+      sim_.trace().instant(sim_.trace().enabled() ? shared->meta.trace_id : 0,
+                           obs::TraceEventType::kSwitchDrop, id_, sim_.now(),
+                           "no_route");
       in.release(*shared, pvl);
       return;
     }

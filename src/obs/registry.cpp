@@ -193,10 +193,9 @@ Snapshot Registry::snapshot() const {
             static_cast<std::int64_t>(h.total());
         snap.values[name + ".overflow"] =
             static_cast<std::int64_t>(h.overflow());
-        snap.values[name + ".p50_x1000"] =
-            std::llround(h.percentile(0.50) * 1000.0);
-        snap.values[name + ".p99_x1000"] =
-            std::llround(h.percentile(0.99) * 1000.0);
+        snap.values[name + ".p50_x1000"] = std::llround(h.p50() * 1000.0);
+        snap.values[name + ".p99_x1000"] = std::llround(h.p99() * 1000.0);
+        snap.values[name + ".p999_x1000"] = std::llround(h.p999() * 1000.0);
         break;
       }
     }

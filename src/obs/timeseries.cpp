@@ -1,0 +1,65 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+#include <set>
+
+namespace ibsec::obs {
+namespace {
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+void TimeSeriesSampler::sample(SimTime now) {
+  if (samples_.size() >= config_.max_samples) {
+    ++dropped_;
+    return;
+  }
+  Sample s;
+  s.t = now;
+  Snapshot snap = registry_.snapshot();
+  if (config_.patterns.empty()) {
+    s.values = std::move(snap.values);
+  } else {
+    for (const auto& [name, value] : snap.values) {
+      for (const std::string& pattern : config_.patterns) {
+        if (glob_match(pattern, name)) {
+          s.values.emplace(name, value);
+          break;
+        }
+      }
+    }
+  }
+  samples_.push_back(std::move(s));
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  // Column set = union over all buckets: metrics created lazily mid-run
+  // (per-VL counters, first drop of a kind) backfill earlier rows as 0.
+  std::set<std::string> names;
+  for (const Sample& s : samples_) {
+    for (const auto& [name, value] : s.values) names.insert(name);
+  }
+  std::string out = "t_ps";
+  for (const std::string& name : names) {
+    out += ',';
+    out += name;
+  }
+  out += '\n';
+  for (const Sample& s : samples_) {
+    append_int(out, s.t);
+    for (const std::string& name : names) {
+      out += ',';
+      const auto it = s.values.find(name);
+      append_int(out, it == s.values.end() ? 0 : it->second);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ibsec::obs

@@ -1,0 +1,67 @@
+// Fixed-Δt time-series telemetry over the metrics registry.
+//
+// A TimeSeriesSampler snapshots a selected subset of one Registry's
+// counters/gauges into time-stamped buckets, so experiments can see *when*
+// a metric moved — queue depth ramping under the Fig. 1 DoS burst, filter
+// drops spiking when SIF arms, rc.retransmits stepping on each loss — not
+// just its end-of-run total.
+//
+// Selection uses the Snapshot glob syntax ('*' wildcards) against exported
+// metric names; an empty pattern list keeps everything. Sampling is driven
+// by the owner (workload::Scenario schedules a simulator event every
+// `timeseries_dt`), which keeps obs free of any dependency on sim.
+//
+// The CSV export is byte-deterministic: one row per bucket in time order,
+// one column per metric name in sorted order (the union over all buckets —
+// lazily-created metrics backfill as 0 before they first appear).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/registry.h"
+
+namespace ibsec::obs {
+
+struct TimeSeriesConfig {
+  /// Bucket spacing; informational here (the owner schedules the ticks).
+  SimTime dt = 0;
+  /// Snapshot-name globs to keep; empty keeps every exported metric.
+  std::vector<std::string> patterns;
+  /// Hard bound on stored buckets; further samples count as dropped.
+  std::size_t max_samples = 1u << 16;
+};
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(const Registry& registry, TimeSeriesConfig config)
+      : registry_(registry), config_(std::move(config)) {}
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  struct Sample {
+    SimTime t = 0;
+    std::map<std::string, std::int64_t> values;
+  };
+
+  /// Appends one bucket stamped `now` (no-op past max_samples).
+  void sample(SimTime now);
+
+  const TimeSeriesConfig& config() const { return config_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::uint64_t dropped_samples() const { return dropped_; }
+
+  /// "t_ps,<name>,..." header + one integer row per bucket; byte-stable.
+  std::string to_csv() const;
+
+ private:
+  const Registry& registry_;
+  TimeSeriesConfig config_;
+  std::vector<Sample> samples_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ibsec::obs

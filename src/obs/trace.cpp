@@ -1,0 +1,372 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/check.h"
+
+namespace ibsec::obs {
+namespace {
+
+// splitmix64 finalizer: the sampling decision must depend only on
+// (sample_seed, packet serial), never on allocation order or wall clock.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+// Formats picoseconds as decimal microseconds ("12.345678") from integer
+// arithmetic only — double formatting is locale/libm-dependent and would
+// break byte-determinism.
+void append_us(std::string& out, SimTime ps) {
+  if (ps < 0) {
+    out += '-';
+    ps = -ps;
+  }
+  append_int(out, ps / 1'000'000);
+  char frac[12];
+  std::snprintf(frac, sizeof(frac), ".%06lld",
+                static_cast<long long>(ps % 1'000'000));
+  out += frac;
+}
+
+}  // namespace
+
+const char* to_string(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCreate: return "create";
+    case TraceEventType::kInject: return "inject";
+    case TraceEventType::kQueueWait: return "vl_queue_wait";
+    case TraceEventType::kSerialize: return "serialize";
+    case TraceEventType::kSwitch: return "switch_cross";
+    case TraceEventType::kSwitchDrop: return "switch_drop";
+    case TraceEventType::kLinkFault: return "link_fault";
+    case TraceEventType::kMacSign: return "mac_sign";
+    case TraceEventType::kMacVerify: return "mac_verify";
+    case TraceEventType::kRcRetransmit: return "rc_retransmit";
+    case TraceEventType::kRcAck: return "rc_ack";
+    case TraceEventType::kRcComplete: return "rc_complete";
+    case TraceEventType::kDeliver: return "deliver";
+    case TraceEventType::kRetire: return "retire";
+  }
+  return "unknown";
+}
+
+const char* category_of(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCreate:
+    case TraceEventType::kInject:
+    case TraceEventType::kDeliver:
+    case TraceEventType::kRetire:
+      return "packet";
+    case TraceEventType::kQueueWait:
+    case TraceEventType::kSerialize:
+    case TraceEventType::kLinkFault:
+      return "link";
+    case TraceEventType::kSwitch:
+    case TraceEventType::kSwitchDrop:
+      return "switch";
+    case TraceEventType::kMacSign:
+    case TraceEventType::kMacVerify:
+      return "crypto";
+    case TraceEventType::kRcRetransmit:
+    case TraceEventType::kRcAck:
+    case TraceEventType::kRcComplete:
+      return "rc";
+  }
+  return "packet";
+}
+
+TraceRecorder::~TraceRecorder() { install_check_dump(false); }
+
+void TraceRecorder::configure(const TraceConfig& config) {
+  config_ = config;
+  if (config_.sample_every == 0) config_.sample_every = 1;
+  if (config_.capacity == 0) config_.capacity = 1;
+  install_check_dump(config_.enabled && config_.dump_on_check_failure);
+}
+
+bool TraceRecorder::sampled(std::uint64_t serial) const {
+  if (config_.sample_every <= 1) return true;
+  return mix64(config_.sample_seed ^ serial) % config_.sample_every == 0;
+}
+
+std::uint64_t TraceRecorder::new_packet(int src_node, int dst_node,
+                                        int traffic_class, SimTime now) {
+  if (!config_.enabled) return 0;
+  const std::uint64_t serial = ++serial_;
+  if (!sampled(serial)) return kTraceNotSampled;
+  ++sampled_;
+  instant(serial, TraceEventType::kCreate, src_node, now, {}, dst_node,
+          traffic_class);
+  return serial;
+}
+
+void TraceRecorder::instant(std::uint64_t packet_id, TraceEventType type,
+                            int node, SimTime at, std::string detail,
+                            std::int64_t a0, std::int64_t a1) {
+  if (!config_.enabled || packet_id == 0 || packet_id == kTraceNotSampled) {
+    return;
+  }
+  TraceEvent ev;
+  ev.packet_id = packet_id;
+  ev.type = type;
+  ev.node = node;
+  ev.start = at;
+  ev.a0 = a0;
+  ev.a1 = a1;
+  ev.detail = std::move(detail);
+  record(std::move(ev));
+}
+
+void TraceRecorder::span(std::uint64_t packet_id, TraceEventType type,
+                         int node, SimTime start, SimTime duration,
+                         std::string detail) {
+  if (!config_.enabled || packet_id == 0 || packet_id == kTraceNotSampled) {
+    return;
+  }
+  TraceEvent ev;
+  ev.packet_id = packet_id;
+  ev.type = type;
+  ev.node = node;
+  ev.start = start;
+  ev.duration = duration;
+  ev.detail = std::move(detail);
+  record(std::move(ev));
+}
+
+void TraceRecorder::record(TraceEvent&& event) {
+  ++recorded_;
+  if (events_.size() < config_.capacity) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  if (!config_.flight_recorder) {
+    ++dropped_;  // drop-newest: the front of the run is what we keep
+    return;
+  }
+  // Ring mode: overwrite the oldest slot, keep the newest tail.
+  events_[ring_head_] = std::move(event);
+  ring_head_ = (ring_head_ + 1) % config_.capacity;
+  ++evicted_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  // ring_head_ is the oldest element once the ring has wrapped.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(ring_head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::vector<TraceEvent> sorted = events();
+  // Chrome's viewer expects ts-ordered input; stable sort keeps record
+  // order for equal timestamps so the output is byte-deterministic.
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start < b.start;
+                   });
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += to_string(ev.type);
+    out += "\",\"cat\":\"";
+    out += category_of(ev.type);
+    if (ev.duration > 0) {
+      out += "\",\"ph\":\"X\",\"ts\":";
+      append_us(out, ev.start);
+      out += ",\"dur\":";
+      append_us(out, ev.duration);
+    } else {
+      out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      append_us(out, ev.start);
+    }
+    out += ",\"pid\":0,\"tid\":";
+    append_int(out, static_cast<std::int64_t>(ev.packet_id));
+    out += ",\"args\":{\"node\":";
+    append_int(out, ev.node);
+    out += ",\"a0\":";
+    append_int(out, ev.a0);
+    out += ",\"a1\":";
+    append_int(out, ev.a1);
+    if (!ev.detail.empty()) {
+      // Details are component-chosen literals (port names, drop causes);
+      // none contain characters needing JSON escapes.
+      out += ",\"detail\":\"";
+      out += ev.detail;
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void TraceRecorder::dump(std::ostream& out, std::size_t last_n) const {
+  const std::vector<TraceEvent> all = events();
+  const std::size_t begin = all.size() > last_n ? all.size() - last_n : 0;
+  out << "[trace] flight recorder tail: " << (all.size() - begin) << " of "
+      << all.size() << " stored events (" << recorded_ << " recorded, "
+      << evicted_ << " evicted, " << dropped_ << " dropped)\n";
+  for (std::size_t i = begin; i < all.size(); ++i) {
+    const TraceEvent& ev = all[i];
+    out << "[trace] t=" << ev.start << "ps pkt=" << ev.packet_id << " "
+        << to_string(ev.type) << " node=" << ev.node;
+    if (ev.duration > 0) out << " dur=" << ev.duration << "ps";
+    if (!ev.detail.empty()) out << " " << ev.detail;
+    out << "\n";
+  }
+  ++dumps_;
+}
+
+void TraceRecorder::check_dump_trampoline(void* self) {
+  static_cast<TraceRecorder*>(self)->dump(std::cerr, 64);
+  std::cerr.flush();
+}
+
+void TraceRecorder::install_check_dump(bool install) {
+  if (install == dump_installed_) return;
+  if (install) {
+    set_check_failure_dump(&TraceRecorder::check_dump_trampoline, this);
+  } else {
+    set_check_failure_dump(nullptr, nullptr);
+  }
+  dump_installed_ = install;
+}
+
+namespace {
+
+// Working state while folding one packet's events into a breakdown.
+struct Lifecycle {
+  PacketBreakdown b;
+  SimTime first_inject = -1;
+  std::vector<SimTime> injects;
+  bool created = false;
+  bool delivered = false;
+};
+
+}  // namespace
+
+std::vector<PacketBreakdown> compute_breakdown(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, Lifecycle> packets;
+  for (const TraceEvent& ev : events) {
+    Lifecycle& lc = packets[ev.packet_id];
+    lc.b.packet_id = ev.packet_id;
+    switch (ev.type) {
+      case TraceEventType::kCreate:
+        lc.created = true;
+        lc.b.created_ps = ev.start;
+        lc.b.src_node = ev.node;
+        lc.b.dst_node = static_cast<int>(ev.a0);
+        lc.b.traffic_class = static_cast<int>(ev.a1);
+        break;
+      case TraceEventType::kInject:
+        if (lc.first_inject < 0 || ev.start < lc.first_inject) {
+          lc.first_inject = ev.start;
+        }
+        lc.injects.push_back(ev.start);
+        break;
+      case TraceEventType::kDeliver:
+        lc.delivered = true;
+        lc.b.delivered_ps = ev.start;
+        break;
+      case TraceEventType::kMacSign:
+        // Only the first sign's modeled pipeline time elapsed before
+        // injection; retransmit re-signs are accounted to `retransmit`.
+        if (lc.b.crypto_ps == 0) lc.b.crypto_ps = ev.duration;
+        break;
+      case TraceEventType::kSerialize:
+        lc.b.serialize_ps += ev.duration;
+        ++lc.b.hops;
+        break;
+      case TraceEventType::kSwitch:
+        lc.b.switch_ps += ev.duration;
+        break;
+      case TraceEventType::kRcRetransmit:
+        ++lc.b.retransmits;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<PacketBreakdown> out;
+  out.reserve(packets.size());
+  for (auto& [id, lc] : packets) {
+    if (id == 0 || !lc.created || !lc.delivered || lc.first_inject < 0) {
+      continue;  // incomplete lifecycle (dropped, in flight, or evicted)
+    }
+    PacketBreakdown& b = lc.b;
+    // The last injection at or before delivery: a retransmit racing past an
+    // in-flight delivery must not push `wire` negative.
+    SimTime last_inject = lc.first_inject;
+    for (SimTime t : lc.injects) {
+      if (t > last_inject && t <= b.delivered_ps) last_inject = t;
+    }
+    b.total_ps = b.delivered_ps - b.created_ps;
+    b.queuing_ps = lc.first_inject - b.created_ps - b.crypto_ps;
+    b.retransmit_ps = last_inject - lc.first_inject;
+    b.wire_ps = b.delivered_ps - last_inject;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::string breakdown_csv(const std::vector<TraceEvent>& events) {
+  std::string out =
+      "trace_id,src,dst,class,created_ps,delivered_ps,total_ps,queuing_ps,"
+      "crypto_ps,retransmit_ps,wire_ps,serialize_ps,switch_ps,hops,"
+      "retransmits\n";
+  for (const PacketBreakdown& b : compute_breakdown(events)) {
+    append_int(out, static_cast<std::int64_t>(b.packet_id));
+    out += ',';
+    append_int(out, b.src_node);
+    out += ',';
+    append_int(out, b.dst_node);
+    out += ',';
+    append_int(out, b.traffic_class);
+    out += ',';
+    append_int(out, b.created_ps);
+    out += ',';
+    append_int(out, b.delivered_ps);
+    out += ',';
+    append_int(out, b.total_ps);
+    out += ',';
+    append_int(out, b.queuing_ps);
+    out += ',';
+    append_int(out, b.crypto_ps);
+    out += ',';
+    append_int(out, b.retransmit_ps);
+    out += ',';
+    append_int(out, b.wire_ps);
+    out += ',';
+    append_int(out, b.serialize_ps);
+    out += ',';
+    append_int(out, b.switch_ps);
+    out += ',';
+    append_int(out, b.hops);
+    out += ',';
+    append_int(out, b.retransmits);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ibsec::obs

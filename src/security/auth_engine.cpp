@@ -57,10 +57,50 @@ bool AuthEngine::sign(ib::Packet& pkt) {
   pkt.refresh_vcrc();
   ++stats_.signed_packets;
   obs_signed_->inc();
+
+  sim::Simulator& sim = ca_.fabric().simulator();
+  if (sim.trace().enabled() && pkt.meta.trace_id != 0) {
+    // The workload models MAC computation as a delay between message
+    // creation and the send; when that stage really elapsed (created_at is
+    // at least the overhead in the past) the span covers it, so the
+    // breakdown's crypto component matches the modeled cost. Re-signs of
+    // RC retransmits (created_at == now) record a zero-length instant.
+    const SimTime now = sim.now();
+    SimTime dur = 0;
+    if (modeled_sign_overhead_ > 0 && pkt.meta.created_at >= 0 &&
+        pkt.meta.created_at <= now - modeled_sign_overhead_) {
+      dur = modeled_sign_overhead_;
+    }
+    sim.trace().span(pkt.meta.trace_id, obs::TraceEventType::kMacSign,
+                     static_cast<int>(pkt.meta.src_node), now - dur, dur,
+                     std::string(crypto::to_string(
+                         static_cast<crypto::AuthAlgorithm>(pkt.bth.resv8a))));
+  }
   return true;
 }
 
 transport::AuthVerdict AuthEngine::verify(const ib::Packet& pkt) {
+  const transport::AuthVerdict verdict = verify_impl(pkt);
+  sim::Simulator& sim = ca_.fabric().simulator();
+  if (sim.trace().enabled() && pkt.meta.trace_id != 0) {
+    const char* detail = "accept";
+    switch (verdict) {
+      case transport::AuthVerdict::kAccept: detail = "accept"; break;
+      case transport::AuthVerdict::kNotAuthenticated:
+        detail = "unauthenticated";
+        break;
+      case transport::AuthVerdict::kRejectBadTag: detail = "bad_tag"; break;
+      case transport::AuthVerdict::kRejectNoKey: detail = "no_key"; break;
+      case transport::AuthVerdict::kRejectReplay: detail = "replay"; break;
+    }
+    sim.trace().instant(pkt.meta.trace_id, obs::TraceEventType::kMacVerify,
+                        static_cast<int>(pkt.meta.dst_node), sim.now(),
+                        detail);
+  }
+  return verdict;
+}
+
+transport::AuthVerdict AuthEngine::verify_impl(const ib::Packet& pkt) {
   const bool required = policy_applies(pkt.bth.pkey);
 
   if (pkt.bth.resv8a == 0) {

@@ -46,6 +46,15 @@ class AuthEngine final : public transport::PacketAuthenticator {
   /// Replay protection (off by default, as in the paper's main design).
   void set_replay_protection(bool on) { replay_protection_ = on; }
 
+  /// The per-message MAC-computation time the workload models (paper
+  /// Fig. 5/6). Used only for tracing: sign() emits a kMacSign span of this
+  /// duration when the modeled pipeline stage actually elapsed before the
+  /// send (the packet's created_at predates now by at least the overhead),
+  /// so the latency breakdown can attribute it to the crypto component.
+  void set_modeled_sign_overhead(SimTime overhead) {
+    modeled_sign_overhead_ = overhead;
+  }
+
   // --- statistics -----------------------------------------------------------
   struct Stats {
     std::uint64_t signed_packets = 0;
@@ -65,12 +74,14 @@ class AuthEngine final : public transport::PacketAuthenticator {
 
  private:
   bool policy_applies(ib::PKeyValue pkey) const;
+  transport::AuthVerdict verify_impl(const ib::Packet& pkt);
   /// Counter for bad tags claiming algorithm `alg_id`, resolved on first
   /// failure ("auth.verify_fail.<algorithm-name>").
   obs::Counter& verify_fail_counter(std::uint8_t alg_id);
 
   transport::ChannelAdapter& ca_;
   KeyManager* key_manager_ = nullptr;
+  SimTime modeled_sign_overhead_ = 0;
   std::set<ib::PKeyValue> enabled_partitions_;  // 15-bit indices
   bool authenticate_all_ = false;
   bool replay_protection_ = false;

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace ibsec::sim {
@@ -21,6 +22,12 @@ class Simulator {
   /// Simulator so parallel sweep workers never share metric state.
   obs::Registry& obs() { return obs_; }
   const obs::Registry& obs() const { return obs_; }
+
+  /// This simulation's packet-lifecycle trace recorder (see obs/trace.h).
+  /// Disabled by default; instrumentation sites guard on trace().enabled()
+  /// so an unconfigured recorder costs one inlined bool load.
+  obs::TraceRecorder& trace() { return trace_; }
+  const obs::TraceRecorder& trace() const { return trace_; }
 
   /// Schedules `fn` at absolute time `when` (must be >= now()).
   void at(SimTime when, EventQueue::Callback fn) {
@@ -62,6 +69,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
   obs::Registry obs_;
+  obs::TraceRecorder trace_;
 };
 
 }  // namespace ibsec::sim

@@ -119,19 +119,37 @@ void ChannelAdapter::bind_rc(ib::Qpn local, int peer_node, ib::Qpn peer_qpn) {
 }
 
 ib::Packet ChannelAdapter::make_packet(ib::PacketMeta::TrafficClass tclass,
-                                       int dst_node, ib::PKeyValue pkey) {
+                                       int dst_node, ib::PKeyValue pkey,
+                                       SimTime created_at) {
   ib::Packet pkt;
   pkt.lrh.vl = vl_for(tclass);
   pkt.lrh.sl = pkt.lrh.vl;  // identity SL->VL map
   pkt.lrh.slid = fabric_.lid_of_node(node_);
   pkt.lrh.dlid = fabric_.lid_of_node(dst_node);
   pkt.bth.pkey = pkey;
-  pkt.meta.created_at = fabric_.simulator().now();
+  sim::Simulator& sim = fabric_.simulator();
+  pkt.meta.created_at = created_at >= 0 ? created_at : sim.now();
   pkt.meta.src_node = static_cast<std::uint32_t>(node_);
   pkt.meta.dst_node = static_cast<std::uint32_t>(dst_node);
   pkt.meta.traffic_class = tclass;
   pkt.meta.message_id = next_message_id_++;
+  // Assign trace identity here — before RC transmit copies the packet into
+  // its window — so retransmitted copies share the original's lifecycle.
+  if (sim.trace().enabled()) {
+    pkt.meta.trace_id = sim.trace().new_packet(
+        node_, dst_node, static_cast<int>(tclass), pkt.meta.created_at);
+  }
   return pkt;
+}
+
+void ChannelAdapter::trace_retire(const ib::Packet& pkt, const char* cause) {
+  sim::Simulator& sim = fabric_.simulator();
+  if (!sim.trace().enabled() || pkt.meta.trace_id == 0) return;
+  sim.trace().instant(pkt.meta.trace_id,
+                      cause == nullptr ? obs::TraceEventType::kDeliver
+                                       : obs::TraceEventType::kRetire,
+                      node_, sim.now(),
+                      cause == nullptr ? std::string() : std::string(cause));
 }
 
 bool ChannelAdapter::post_send(ib::Qpn local_qp,
@@ -153,8 +171,7 @@ bool ChannelAdapter::post_send(ib::Qpn local_qp,
     return false;
   }
 
-  ib::Packet pkt = make_packet(tclass, target_node, qp->pkey);
-  if (created_at >= 0) pkt.meta.created_at = created_at;
+  ib::Packet pkt = make_packet(tclass, target_node, qp->pkey, created_at);
   pkt.bth.opcode = qp->type == ServiceType::kReliableConnection
                        ? ib::OpCode::kRcSendOnly
                        : ib::OpCode::kUdSendOnly;
@@ -308,11 +325,13 @@ void ChannelAdapter::on_packet(ib::Packet&& pkt) {
   if (!pkt.vcrc_valid()) {
     ++counters_.vcrc_errors;
     retire_.vcrc->inc();
+    trace_retire(pkt, "vcrc");
     return;
   }
   if (pkt.lrh.vl == ib::kManagementVl &&
       pkt.bth.dest_qp == ib::kQp0SubnetManagement) {
     retire_.mad->inc();
+    trace_retire(pkt, "mad");
     handle_mad_packet(pkt);
     return;
   }
@@ -366,6 +385,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       send_mad(sm_node_, trap);
     }
     retire_.pkey_violation->inc();
+    trace_retire(pkt, "pkey_violation");
     return;
   }
 
@@ -378,17 +398,20 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       case AuthVerdict::kNotAuthenticated:
         ++counters_.auth_unauthenticated;
         retire_.auth_missing->inc();
+        trace_retire(pkt, "auth_missing");
         return;
       case AuthVerdict::kRejectBadTag:
       case AuthVerdict::kRejectNoKey:
       case AuthVerdict::kRejectReplay:
         ++counters_.auth_rejected;
         retire_.auth_rejected->inc();
+        trace_retire(pkt, "auth_rejected");
         return;
     }
   } else if (pkt.bth.resv8a == 0 && !pkt.icrc_valid()) {
     ++counters_.icrc_errors;
     retire_.icrc_error->inc();
+    trace_retire(pkt, "icrc_error");
     return;
   }
 
@@ -410,6 +433,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       } else if (psn_lt(pkt.bth.psn, qp->expected_psn)) {
         ++counters_.rc_duplicates;
         retire_.rc_duplicate->inc();
+        trace_retire(pkt, "rc_duplicate");
         if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadRequest) {
           // The earlier response was lost: rebuild and resend it.
           serve_rdma_read(pkt, /*duplicate=*/true);
@@ -420,6 +444,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       } else {
         ++counters_.rc_out_of_order;
         retire_.rc_out_of_order->inc();
+        trace_retire(pkt, "rc_out_of_order");
         send_rc_nak(*qp);
         return;
       }
@@ -443,11 +468,22 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
   }
   if (pkt.bth.opcode == ib::OpCode::kRcRdmaReadResponse) {
     retire_.rdma_read_response->inc();
+    trace_retire(pkt, "rdma_read_response");
     if (rc_config_.enabled) rc_on_read_response(pkt);
     complete_rdma_read(pkt);
     return;
   }
   if (pkt.bth.opcode == ib::OpCode::kRcAck) {
+    {
+      sim::Simulator& sim = fabric_.simulator();
+      if (sim.trace().enabled() && pkt.meta.trace_id != 0) {
+        sim.trace().instant(pkt.meta.trace_id, obs::TraceEventType::kRcAck,
+                            node_, sim.now(),
+                            !pkt.aeth                       ? "malformed"
+                            : pkt.aeth->syndrome == kAethAck ? "ack"
+                                                             : "nak");
+      }
+    }
     handle_rc_ack(pkt);
     return;
   }
@@ -456,6 +492,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
   QueuePair* qp = find_qp(pkt.bth.dest_qp);
   if (qp == nullptr) {
     retire_.no_dest_qp->inc();
+    trace_retire(pkt, "no_dest_qp");
     return;
   }
   if (qp->type == ServiceType::kUnreliableDatagram) {
@@ -464,6 +501,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       ++qp->counters.dropped_bad_qkey;
       qkey_drop_counter(*qp).inc();
       retire_.qkey_violation->inc();
+      trace_retire(pkt, "qkey_violation");
       return;
     }
   } else if (!rc_config_.enabled) {
@@ -472,6 +510,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
   ++qp->counters.received;
   ++counters_.delivered;
   retire_.delivered->inc();
+  trace_retire(pkt, nullptr);
   if (probe_) probe_(pkt);
   if (receive_handler_) receive_handler_(pkt, *qp);
 
@@ -561,6 +600,7 @@ void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt, bool duplicate) {
     if (!duplicate) {
       ++counters_.rdma_rejected;
       retire_.rdma_rejected->inc();
+      trace_retire(pkt, "rdma_rejected");
     }
     return;
   }
@@ -577,6 +617,7 @@ void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt, bool duplicate) {
     if (!duplicate) {
       ++counters_.rdma_read_naks;
       retire_.rdma_nak->inc();
+      trace_retire(pkt, "rdma_nak");
     }
     resp.aeth = ib::Aeth{0x60 /*NAK: remote access error*/, pkt.bth.psn};
   } else {
@@ -584,6 +625,7 @@ void ChannelAdapter::serve_rdma_read(const ib::Packet& pkt, bool duplicate) {
       ++counters_.rdma_reads_served;
       ++counters_.delivered;
       retire_.delivered->inc();
+      trace_retire(pkt, nullptr);
       if (probe_) probe_(pkt);
     }
     resp.aeth = ib::Aeth{0x00, pkt.bth.psn};
@@ -682,10 +724,16 @@ void ChannelAdapter::on_rc_timeout(ib::Qpn qpn, std::uint64_t generation) {
 void ChannelAdapter::rc_retransmit(QueuePair& qp, ib::Psn from_psn) {
   // Go-back-N: every unacked request at or after from_psn goes out again,
   // re-signed (the stored copy is the pre-finalize packet).
+  sim::Simulator& sim = fabric_.simulator();
   for (auto& [psn, entry] : qp.rc_tx.window) {
     if (psn_lt(psn, from_psn)) continue;
     ++counters_.rc_retransmits;
     rc_obs_.retransmits->inc();
+    if (sim.trace().enabled() && entry.pkt.meta.trace_id != 0) {
+      sim.trace().instant(entry.pkt.meta.trace_id,
+                          obs::TraceEventType::kRcRetransmit, node_,
+                          sim.now(), {}, static_cast<std::int64_t>(psn));
+    }
     ib::Packet copy = entry.pkt;
     sign_and_send(std::move(copy));
   }
@@ -782,6 +830,15 @@ void ChannelAdapter::rc_ack_through(QueuePair& qp, ib::Psn psn,
       ++it;
       continue;
     }
+    {
+      sim::Simulator& sim = fabric_.simulator();
+      if (sim.trace().enabled() && it->second.pkt.meta.trace_id != 0) {
+        sim.trace().instant(it->second.pkt.meta.trace_id,
+                            obs::TraceEventType::kRcComplete, node_,
+                            sim.now(), {},
+                            static_cast<std::int64_t>(it->first));
+      }
+    }
     it = qp.rc_tx.window.erase(it);
     progressed = true;
   }
@@ -803,6 +860,12 @@ void ChannelAdapter::rc_on_read_response(const ib::Packet& pkt) {
   if (qp == nullptr || qp->type != ServiceType::kReliableConnection) return;
   const auto it = qp->rc_tx.window.find(pkt.bth.psn);
   if (it == qp->rc_tx.window.end()) return;  // duplicate response
+  sim::Simulator& sim = fabric_.simulator();
+  if (sim.trace().enabled() && it->second.pkt.meta.trace_id != 0) {
+    sim.trace().instant(it->second.pkt.meta.trace_id,
+                        obs::TraceEventType::kRcComplete, node_, sim.now(),
+                        "read", static_cast<std::int64_t>(it->first));
+  }
   qp->rc_tx.window.erase(it);
   rc_on_progress(*qp);
 }
@@ -872,6 +935,7 @@ void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {
   if (!pkt.reth) {
     ++counters_.rdma_rejected;
     retire_.rdma_rejected->inc();
+    trace_retire(pkt, "rdma_rejected");
     return;
   }
   const auto region = memory_table_.check_access(
@@ -880,6 +944,7 @@ void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {
   if (!region) {
     ++counters_.rdma_rejected;
     retire_.rdma_rejected->inc();
+    trace_retire(pkt, "rdma_rejected");
     return;
   }
   auto& buffer = memory_[pkt.reth->rkey];
@@ -890,6 +955,7 @@ void ChannelAdapter::apply_rdma_write(const ib::Packet& pkt) {
   ++counters_.rdma_writes_applied;
   ++counters_.delivered;
   retire_.delivered->inc();
+  trace_retire(pkt, nullptr);
   if (probe_) probe_(pkt);
 }
 

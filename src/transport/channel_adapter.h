@@ -254,8 +254,14 @@ class ChannelAdapter {
   void sign_and_send(ib::Packet&& pkt);
   bool handle_port_reconfigure(const Mad& mad);
   /// Builds the common skeleton (LRH/BTH, VL/SL from the traffic class).
+  /// `created_at` < 0 stamps "now"; sources that model a pre-send pipeline
+  /// stage (MAC computation) pass the earlier message-creation time so the
+  /// lifecycle trace's create event matches meta.created_at.
   ib::Packet make_packet(ib::PacketMeta::TrafficClass tclass, int dst_node,
-                         ib::PKeyValue pkey);
+                         ib::PKeyValue pkey, SimTime created_at = -1);
+  /// Records the terminal trace event for a packet retiring at this CA:
+  /// kRetire with the given cause, or kDeliver when cause is nullptr.
+  void trace_retire(const ib::Packet& pkt, const char* cause);
 
   fabric::Fabric& fabric_;
   int node_;

@@ -5,6 +5,20 @@
 
 namespace ibsec::workload {
 
+namespace {
+
+// Counters worth plotting against time in the DoS experiments when the
+// caller does not name their own set.
+std::vector<std::string> default_timeseries_patterns() {
+  return {
+      "link.*.packets",      "link.*.bytes",        "link.*.queue_depth*",
+      "switch.*.forwarded",  "switch.*.drop.*",     "hca.*.injected",
+      "hca.*.received",      "ca.*.rc.retransmits", "auth.*",
+  };
+}
+
+}  // namespace
+
 Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
   build();
 }
@@ -15,6 +29,9 @@ void Scenario::build() {
   Rng rng(config_.seed);
 
   fabric_ = std::make_unique<fabric::Fabric>(config_.fabric);
+  // Tracing must be live before any component can emit an event (bring-up
+  // MADs are part of a packet's lifecycle too).
+  fabric_->simulator().trace().configure(config_.trace);
   const int n = fabric_->node_count();
 
   cas_.reserve(static_cast<std::size_t>(n));
@@ -88,6 +105,10 @@ void Scenario::build_security() {
           pkey_of_partition(node_partition_[static_cast<std::size_t>(node)]));
     }
     engine->set_replay_protection(config_.replay_protection);
+    // Matches the delay TrafficSource models before each authenticated send,
+    // so traced kMacSign spans carry the same duration (see AuthEngine doc).
+    engine->set_modeled_sign_overhead(
+        config_.auth_enabled ? config_.per_message_auth_overhead : 0);
     auth_engines_.push_back(std::move(engine));
   }
 
@@ -233,8 +254,29 @@ void Scenario::build_traffic(Rng& rng) {
   }
 }
 
+void Scenario::timeseries_tick() {
+  auto& sim = fabric_->simulator();
+  timeseries_->sample(sim.now());
+  if (sim.now() + config_.timeseries_dt <= timeseries_end_) {
+    sim.after(config_.timeseries_dt, [this] { timeseries_tick(); });
+  }
+}
+
 ScenarioResult Scenario::run() {
   auto& sim = fabric_->simulator();
+
+  if (config_.timeseries_dt > 0) {
+    obs::TimeSeriesConfig ts;
+    ts.dt = config_.timeseries_dt;
+    ts.patterns = config_.timeseries_patterns.empty()
+                      ? default_timeseries_patterns()
+                      : config_.timeseries_patterns;
+    ts.max_samples = config_.timeseries_max_samples;
+    timeseries_ =
+        std::make_unique<obs::TimeSeriesSampler>(sim.obs(), std::move(ts));
+    timeseries_end_ = sim.now() + config_.warmup + config_.duration;
+    timeseries_tick();  // bucket 0 at run start, then every dt
+  }
 
   // Stagger source start times within one packet slot to avoid lockstep.
   Rng stagger(config_.seed ^ 0xABCDEF);
@@ -291,6 +333,19 @@ ScenarioResult Scenario::run() {
   export_class("workload.realtime.", result.realtime);
   export_class("workload.best_effort.", result.best_effort);
   result.obs = reg.snapshot();
+  if (timeseries_) {
+    // Closing bucket, unless the last scheduled tick already landed exactly
+    // at end-of-run (run_until executes events at t == end).
+    if (timeseries_->samples().empty() ||
+        timeseries_->samples().back().t != sim.now()) {
+      timeseries_->sample(sim.now());
+    }
+    result.timeseries_csv = timeseries_->to_csv();
+  }
+  if (sim.trace().enabled()) {
+    result.trace_json = sim.trace().to_chrome_json();
+    result.trace_breakdown_csv = obs::breakdown_csv(sim.trace().events());
+  }
   return result;
 }
 

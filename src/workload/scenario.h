@@ -10,6 +10,8 @@
 #include <memory>
 
 #include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "security/auth_engine.h"
 #include "security/partition_key_manager.h"
 #include "security/qp_key_manager.h"
@@ -72,6 +74,18 @@ struct ScenarioConfig {
 
   SimTime warmup = 100 * time_literals::kMicrosecond;
   SimTime duration = 2 * time_literals::kMillisecond;
+
+  /// Packet-lifecycle tracing (obs/trace.h), off by default. When enabled
+  /// the result carries the Chrome trace JSON and the per-packet latency
+  /// breakdown CSV.
+  obs::TraceConfig trace;
+  /// Fixed-Δt registry sampling into ScenarioResult::timeseries_csv;
+  /// 0 disables. Buckets start at run() and cover warmup + duration.
+  SimTime timeseries_dt = 0;
+  /// Snapshot-name globs to keep per bucket; empty selects the default
+  /// DoS-experiment set (queue depths, link/switch counters, rc, auth).
+  std::vector<std::string> timeseries_patterns;
+  std::size_t timeseries_max_samples = 1u << 16;
 };
 
 struct ScenarioResult {
@@ -96,6 +110,14 @@ struct ScenarioResult {
   /// "auth.*", "sm.*", "attack.*", "workload.*") in one flat map, ready for
   /// to_json()/to_csv().
   obs::Snapshot obs;
+
+  /// Chrome trace_event JSON (empty unless config.trace.enabled).
+  std::string trace_json;
+  /// Per-packet latency breakdown CSV derived from the trace (empty unless
+  /// config.trace.enabled).
+  std::string trace_breakdown_csv;
+  /// Fixed-Δt counter/gauge series (empty unless config.timeseries_dt > 0).
+  std::string timeseries_csv;
 };
 
 class Scenario {
@@ -135,6 +157,9 @@ class Scenario {
   void build_security();
   void build_traffic(Rng& rng);
   void build_attackers(Rng& rng);
+  /// Samples one time-series bucket and reschedules itself every
+  /// timeseries_dt until the measurement window ends.
+  void timeseries_tick();
 
   ScenarioConfig config_;
   std::unique_ptr<fabric::Fabric> fabric_;
@@ -151,6 +176,8 @@ class Scenario {
   std::vector<ib::Qpn> ud_qp_of_node_;   // node -> its workload UD QP
   std::vector<int> attacker_nodes_;
   MetricsCollector metrics_;
+  std::unique_ptr<obs::TimeSeriesSampler> timeseries_;
+  SimTime timeseries_end_ = 0;
 };
 
 }  // namespace ibsec::workload

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/time.h"
+#include "obs/trace.h"
 
 namespace ibsec::workload {
 namespace {
@@ -38,17 +39,19 @@ void PacketTraceRecorder::record(const ib::Packet& pkt) {
       to_microseconds(pkt.meta.delivered_at - pkt.meta.injected_at);
   row.is_attack = pkt.meta.is_attack;
   row.auth_alg = pkt.bth.resv8a;
+  row.trace_id =
+      pkt.meta.trace_id == obs::kTraceNotSampled ? 0 : pkt.meta.trace_id;
   rows_.push_back(row);
 }
 
 std::size_t PacketTraceRecorder::write_csv(std::ostream& out) const {
   out << "delivered_us,src,dst,class,wire_bytes,queuing_us,latency_us,"
-         "is_attack,auth_alg\n";
+         "is_attack,auth_alg,trace_id\n";
   for (const Row& r : rows_) {
     out << r.delivered_us << ',' << r.src_node << ',' << r.dst_node << ','
         << r.traffic_class << ',' << r.wire_bytes << ',' << r.queuing_us
         << ',' << r.latency_us << ',' << (r.is_attack ? 1 : 0) << ','
-        << static_cast<int>(r.auth_alg) << '\n';
+        << static_cast<int>(r.auth_alg) << ',' << r.trace_id << '\n';
   }
   return rows_.size();
 }

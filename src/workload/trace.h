@@ -27,6 +27,9 @@ class PacketTraceRecorder {
     double latency_us = 0;
     bool is_attack = false;
     std::uint8_t auth_alg = 0;
+    /// Lifecycle-trace id (obs/trace.h); 0 when tracing was off for this
+    /// packet, so delivery rows can be joined against the Chrome trace.
+    std::uint64_t trace_id = 0;
   };
 
   explicit PacketTraceRecorder(std::size_t max_rows = 1 << 20)

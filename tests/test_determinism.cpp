@@ -16,6 +16,12 @@ ScenarioConfig config_variant(int i) {
   cfg.seed = 21 + static_cast<std::uint64_t>(i);
   cfg.warmup = 50 * kMicrosecond;
   cfg.duration = 300 * kMicrosecond;
+  // Every variant also exercises the trace + time-series exports, so the
+  // worker-count invariance below covers them too.
+  cfg.trace.enabled = true;
+  cfg.trace.sample_every = 2;
+  cfg.trace.sample_seed = cfg.seed;
+  cfg.timeseries_dt = 25 * kMicrosecond;
   switch (i % 4) {
     case 0:
       cfg.num_attackers = 2;
@@ -67,6 +73,34 @@ TEST(Determinism, SameSeedSameSnapshotJson) {
   EXPECT_EQ(a.obs.to_csv(), b.obs.to_csv());
 }
 
+TEST(Determinism, TraceExportsByteIdentical) {
+  ScenarioConfig cfg = config_variant(0);
+  Scenario first(cfg);
+  Scenario second(cfg);
+  const ScenarioResult a = first.run();
+  const ScenarioResult b = second.run();
+  // The exports carry real content...
+  ASSERT_GT(a.trace_json.size(), 1000u);
+  ASSERT_NE(a.trace_breakdown_csv.find('\n'), std::string::npos);
+  ASSERT_GT(a.timeseries_csv.size(), 100u);
+  // ...and replay byte-for-byte.
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.trace_breakdown_csv, b.trace_breakdown_csv);
+  EXPECT_EQ(a.timeseries_csv, b.timeseries_csv);
+}
+
+TEST(Determinism, DifferentSeedsDifferentTraces) {
+  ScenarioConfig cfg = config_variant(0);
+  Scenario first(cfg);
+  cfg.seed += 1;
+  cfg.trace.sample_seed = cfg.seed;
+  Scenario second(cfg);
+  const ScenarioResult a = first.run();
+  const ScenarioResult b = second.run();
+  EXPECT_NE(a.trace_json, b.trace_json);
+  EXPECT_NE(a.timeseries_csv, b.timeseries_csv);
+}
+
 TEST(Determinism, DifferentSeedsDifferentSnapshots) {
   ScenarioConfig cfg = config_variant(0);
   Scenario first(cfg);
@@ -85,6 +119,13 @@ TEST(Determinism, SweepWorkerCountInvariant) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     ASSERT_FALSE(serial[i].obs.values.empty()) << "config " << i;
     EXPECT_EQ(serial[i].obs.to_json(), parallel[i].obs.to_json())
+        << "config " << i;
+    // Trace + time-series exports must not depend on worker count either.
+    ASSERT_FALSE(serial[i].trace_json.empty()) << "config " << i;
+    EXPECT_EQ(serial[i].trace_json, parallel[i].trace_json) << "config " << i;
+    EXPECT_EQ(serial[i].trace_breakdown_csv, parallel[i].trace_breakdown_csv)
+        << "config " << i;
+    EXPECT_EQ(serial[i].timeseries_csv, parallel[i].timeseries_csv)
         << "config " << i;
   }
 }

@@ -1,0 +1,124 @@
+// TimeSeriesSampler: pattern filtering, bucket accumulation, the sample
+// cap, and the byte-deterministic CSV export (union columns, zero
+// backfill).
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+#include "obs/timeseries.h"
+
+namespace ibsec::obs {
+namespace {
+
+TEST(TimeSeries, EmptyPatternsKeepEverything) {
+  Registry reg;
+  reg.counter("a.count").inc();
+  reg.gauge("b.depth").set(7);
+  TimeSeriesSampler sampler(reg, {});
+  sampler.sample(1000);
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  const auto& values = sampler.samples()[0].values;
+  EXPECT_EQ(values.at("a.count"), 1);
+  EXPECT_EQ(values.at("b.depth"), 7);
+  EXPECT_EQ(sampler.samples()[0].t, 1000);
+}
+
+TEST(TimeSeries, PatternsFilterSnapshotNames) {
+  Registry reg;
+  reg.counter("link.sw0.packets").inc(3);
+  reg.counter("link.sw1.packets").inc(5);
+  reg.counter("hca.0.injected").inc(9);
+  TimeSeriesConfig cfg;
+  cfg.patterns = {"link.*.packets"};
+  TimeSeriesSampler sampler(reg, cfg);
+  sampler.sample(0);
+  const auto& values = sampler.samples()[0].values;
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.at("link.sw0.packets"), 3);
+  EXPECT_EQ(values.at("link.sw1.packets"), 5);
+  EXPECT_EQ(values.count("hca.0.injected"), 0u);
+}
+
+TEST(TimeSeries, BucketsSeeCounterProgress) {
+  Registry reg;
+  Counter& count = reg.counter("x");
+  TimeSeriesSampler sampler(reg, {});
+  sampler.sample(0);
+  count.inc(10);
+  sampler.sample(100);
+  count.inc(5);
+  sampler.sample(200);
+  ASSERT_EQ(sampler.samples().size(), 3u);
+  EXPECT_EQ(sampler.samples()[0].values.at("x"), 0);
+  EXPECT_EQ(sampler.samples()[1].values.at("x"), 10);
+  EXPECT_EQ(sampler.samples()[2].values.at("x"), 15);
+}
+
+TEST(TimeSeries, SampleCapCountsDropped) {
+  Registry reg;
+  reg.counter("x");
+  TimeSeriesConfig cfg;
+  cfg.max_samples = 2;
+  TimeSeriesSampler sampler(reg, cfg);
+  for (int i = 0; i < 5; ++i) sampler.sample(i * 10);
+  EXPECT_EQ(sampler.samples().size(), 2u);
+  EXPECT_EQ(sampler.dropped_samples(), 3u);
+  // The first buckets survive (the cap drops newest).
+  EXPECT_EQ(sampler.samples()[0].t, 0);
+  EXPECT_EQ(sampler.samples()[1].t, 10);
+}
+
+TEST(TimeSeries, CsvBackfillsLateMetricsWithZero) {
+  Registry reg;
+  reg.counter("early").inc(1);
+  TimeSeriesSampler sampler(reg, {});
+  sampler.sample(0);
+  reg.counter("late").inc(4);  // lazily created after the first bucket
+  sampler.sample(100);
+  const std::string csv = sampler.to_csv();
+  // Union of names, sorted: header covers both columns.
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "t_ps,early,late");
+  EXPECT_NE(csv.find("0,1,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("100,1,4\n"), std::string::npos);
+}
+
+TEST(TimeSeries, CsvIsByteDeterministic) {
+  const auto build = [] {
+    Registry reg;
+    reg.counter("b").inc(2);
+    reg.counter("a").inc(1);
+    reg.gauge("c.depth").set(-3);
+    TimeSeriesConfig cfg;
+    cfg.patterns = {"a", "b", "c.*"};
+    TimeSeriesSampler sampler(reg, cfg);
+    sampler.sample(0);
+    sampler.sample(50);
+    return sampler.to_csv();
+  };
+  const std::string first = build();
+  EXPECT_EQ(first, build());
+  // Sorted union of matching names (the gauge exports value + high-water).
+  EXPECT_EQ(first.substr(0, first.find('\n')), "t_ps,a,b,c.depth,c.depth.hwm");
+}
+
+TEST(TimeSeries, HistogramPercentilesRideSnapshots) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat_us", /*upper=*/200.0, /*buckets=*/400);
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  TimeSeriesConfig cfg;
+  cfg.patterns = {"lat_us.*"};
+  TimeSeriesSampler sampler(reg, cfg);
+  sampler.sample(0);
+  const auto& values = sampler.samples()[0].values;
+  // p50/p99/p999 exported by the registry as x1000 fixed-point.
+  ASSERT_EQ(values.count("lat_us.p50_x1000"), 1u);
+  ASSERT_EQ(values.count("lat_us.p99_x1000"), 1u);
+  ASSERT_EQ(values.count("lat_us.p999_x1000"), 1u);
+  EXPECT_NEAR(static_cast<double>(values.at("lat_us.p50_x1000")) / 1000.0,
+              50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(values.at("lat_us.p99_x1000")) / 1000.0,
+              99.0, 2.0);
+  EXPECT_GE(values.at("lat_us.p999_x1000"), values.at("lat_us.p99_x1000"));
+}
+
+}  // namespace
+}  // namespace ibsec::obs
