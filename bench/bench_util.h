@@ -5,11 +5,79 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "workload/scenario.h"
 
 namespace ibsec::bench {
+
+/// Machine-readable bench output: an insertion-ordered {metric -> value} map
+/// serialized as one flat JSON object per run label. BENCH_core.json stores
+/// one such object per trajectory point ("before", "after", CI runs), so a
+/// perf PR always carries its own measuring stick.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string label) : label_(std::move(label)) {}
+
+  void set(const std::string& key, double value) {
+    for (auto& kv : metrics_) {
+      if (kv.first == key) {
+        kv.second = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, value);
+  }
+
+  const std::string& label() const { return label_; }
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+  /// {"label": "...", "metrics": {"k": v, ...}} with stable key order.
+  std::string to_json() const {
+    std::ostringstream out;
+    out << "{\n  \"label\": \"" << label_ << "\",\n  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", metrics_[i].second);
+      out << "    \"" << metrics_[i].first << "\": " << buf
+          << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    return out.str();
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json();
+    return static_cast<bool>(out);
+  }
+
+  /// Pulls `"key": <number>` out of a BenchReport-shaped JSON text. Good
+  /// enough for the perf-smoke regression gate reading files this class
+  /// wrote; not a general JSON parser.
+  static std::optional<double> read_metric(const std::string& json_text,
+                                           const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = json_text.find(needle);
+    if (pos == std::string::npos) return std::nullopt;
+    const char* start = json_text.c_str() + pos + needle.size();
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) return std::nullopt;
+    return value;
+  }
+
+ private:
+  std::string label_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void print_testbed_banner(const fabric::FabricConfig& cfg) {
   std::printf("Testbed (paper Table 1):\n");

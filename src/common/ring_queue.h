@@ -1,0 +1,78 @@
+// FIFO queue over a power-of-two circular buffer.
+//
+// std::deque<T> in libstdc++ allocates a fresh node for every element once
+// sizeof(T) approaches its 512-byte block size — which puts one heap
+// allocation on every push for packet-sized elements. RingQueue instead
+// recycles its buffer: after the queue has grown to the steady-state
+// high-water mark, pushes and pops allocate nothing. Capacity doubles when
+// full and never shrinks, matching the event queue's slot-pool policy (see
+// sim/event_queue.h).
+//
+// Requirements on T: default-constructible and move-assignable. Elements are
+// consumed by moving front() out before pop_front(); a popped slot keeps its
+// moved-from value until the ring wraps back over it.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ibsec {
+
+template <class T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  T& front() {
+    IBSEC_DCHECK(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    IBSEC_DCHECK(size_ > 0);
+    return buf_[head_];
+  }
+
+  /// i-th element from the front (0 is front()); for read-only walks like
+  /// queued-byte accounting.
+  const T& at(std::size_t i) const {
+    IBSEC_DCHECK(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    IBSEC_DCHECK(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+ private:
+  void grow() {
+    std::vector<T> next(buf_.empty() ? kInitialCapacity : buf_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = buf_.size() - 1;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ibsec

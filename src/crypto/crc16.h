@@ -14,6 +14,21 @@ namespace ibsec::crypto {
 /// One-shot VCRC over a byte range.
 std::uint16_t crc16_iba(std::span<const std::uint8_t> data);
 
+/// Incremental VCRC: feed the packet body in pieces (headers from stack
+/// scratch, payload in place) and read the same value crc16_iba() returns
+/// over the concatenation — no materialized buffer needed.
+class Crc16Iba {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  std::uint16_t value() const {
+    return static_cast<std::uint16_t>(state_ ^ 0xFFFFu);
+  }
+  void reset() { state_ = 0xFFFFu; }
+
+ private:
+  std::uint16_t state_ = 0xFFFFu;
+};
+
 /// Bit-at-a-time reference implementation for differential tests.
 std::uint16_t crc16_iba_reference(std::span<const std::uint8_t> data);
 

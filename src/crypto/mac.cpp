@@ -11,12 +11,6 @@
 namespace ibsec::crypto {
 namespace {
 
-void append_nonce_be(std::vector<std::uint8_t>& buf, std::uint64_t nonce) {
-  for (int i = 7; i >= 0; --i) {
-    buf.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
-  }
-}
-
 class CrcMac final : public MacFunction {
  public:
   std::uint32_t tag32(std::span<const std::uint8_t> message,
@@ -31,8 +25,7 @@ class CrcMac final : public MacFunction {
 template <typename Hash, AuthAlgorithm Alg>
 class HmacMac final : public MacFunction {
  public:
-  explicit HmacMac(std::span<const std::uint8_t> key)
-      : key_(key.begin(), key.end()) {
+  explicit HmacMac(std::span<const std::uint8_t> key) : proto_(key) {
     if (key.size() != 16) {
       throw std::invalid_argument("HMAC MAC: key must be 16 bytes");
     }
@@ -42,14 +35,28 @@ class HmacMac final : public MacFunction {
                       std::uint64_t nonce) const override {
     // The nonce (PSN) is appended to the authenticated stream so replayed
     // payloads cannot reuse an old tag under a bumped sequence number.
-    std::vector<std::uint8_t> buf(message.begin(), message.end());
-    append_nonce_be(buf, nonce);
-    return Hmac<Hash>::truncated_tag32(key_, buf);
+    // Streaming it after the message (stack copy of the key-primed state)
+    // authenticates exactly message || nonce_be without copying the message
+    // or redoing the per-key pad setup.
+    Hmac<Hash> h = proto_;
+    h.update(message);
+    std::uint8_t nonce_be[8];
+    for (int i = 0; i < 8; ++i) {
+      nonce_be[i] = static_cast<std::uint8_t>(nonce >> (8 * (7 - i)));
+    }
+    h.update(nonce_be);
+    const auto digest = h.finalize();
+    return static_cast<std::uint32_t>(digest[0]) << 24 |
+           static_cast<std::uint32_t>(digest[1]) << 16 |
+           static_cast<std::uint32_t>(digest[2]) << 8 |
+           static_cast<std::uint32_t>(digest[3]);
   }
   AuthAlgorithm algorithm() const override { return Alg; }
 
  private:
-  std::vector<std::uint8_t> key_;
+  /// Key-primed HMAC state (pads computed once, inner hash seeded with
+  /// ipad); tag32 copies it onto the stack per call.
+  Hmac<Hash> proto_;
 };
 
 class PmacMac final : public MacFunction {

@@ -77,21 +77,6 @@ std::uint64_t poly_step(std::uint64_t y, std::uint64_t key, std::uint64_t m) {
   return mod_p64(static_cast<__uint128_t>(y) * key + m);
 }
 
-std::uint64_t poly64(std::uint64_t key, std::span<const std::uint64_t> ms) {
-  std::uint64_t y = 1;
-  for (std::uint64_t m : ms) {
-    if (m >= kMaxWordRange) {
-      // Out-of-range values are encoded as (marker, m - offset) so the hash
-      // stays injective on the full 64-bit domain.
-      y = poly_step(y, key, kMarker);
-      y = poly_step(y, key, m - kOffset);
-    } else {
-      y = poly_step(y, key, m);
-    }
-  }
-  return y;
-}
-
 // --- L3 inner-product hash over GF(2^36 - 5) --------------------------------
 
 constexpr std::uint64_t kP36 = 0xFFFFFFFFBULL;  // 2^36 - 5
@@ -155,33 +140,37 @@ std::uint64_t HashIteration::nh_block(const std::uint8_t* data,
   return y;
 }
 
-std::uint32_t HashIteration::hash(std::span<const std::uint8_t> message) const {
-  // L1: split into 1024-byte blocks -> one 64-bit NH value per block.
-  // An empty message hashes as a single zero-length block (y = 0).
-  std::array<std::uint8_t, 16> l2_out{};
-  if (message.size() <= kL1BlockBytes) {
-    const std::uint64_t nh = nh_block(message.data(), message.size());
-    // Single-block fast path (every IBA packet): L2 is the identity,
-    // producing [0]_8 || NH.
-    for (int i = 0; i < 8; ++i) {
-      l2_out[static_cast<std::size_t>(15 - i)] =
-          static_cast<std::uint8_t>(nh >> (8 * i));
-    }
+void HashIteration::stream_absorb(std::uint64_t& poly_y,
+                                  const std::uint8_t* data,
+                                  std::size_t len) const {
+  const std::uint64_t m = nh_block(data, len);
+  if (m >= kMaxWordRange) {
+    // Out-of-range values are encoded as (marker, m - offset) so the hash
+    // stays injective on the full 64-bit domain.
+    poly_y = poly_step(poly_y, poly_key_, kMarker);
+    poly_y = poly_step(poly_y, poly_key_, m - kOffset);
   } else {
-    std::vector<std::uint64_t> nh_values;
-    nh_values.reserve(message.size() / kL1BlockBytes + 1);
-    std::size_t offset = 0;
-    while (offset < message.size()) {
-      const std::size_t take =
-          std::min(kL1BlockBytes, message.size() - offset);
-      nh_values.push_back(nh_block(message.data() + offset, take));
-      offset += take;
-    }
-    const std::uint64_t y = poly64(poly_key_, nh_values);
-    for (int i = 0; i < 8; ++i) {
-      l2_out[static_cast<std::size_t>(15 - i)] =
-          static_cast<std::uint8_t>(y >> (8 * i));
-    }
+    poly_y = poly_step(poly_y, poly_key_, m);
+  }
+}
+
+std::uint32_t HashIteration::stream_finish(bool multi, std::uint64_t poly_y,
+                                           const std::uint8_t* last,
+                                           std::size_t len) const {
+  std::array<std::uint8_t, 16> l2_out{};
+  std::uint64_t value;
+  if (!multi) {
+    // Single-block fast path (every IBA packet): L2 is the identity,
+    // producing [0]_8 || NH. An empty message hashes as one zero-length
+    // block.
+    value = nh_block(last, len);
+  } else {
+    stream_absorb(poly_y, last, len);
+    value = poly_y;
+  }
+  for (int i = 0; i < 8; ++i) {
+    l2_out[static_cast<std::size_t>(15 - i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
   }
 
   // L3: 16 bytes -> 32 bits via inner product with a key over GF(2^36 - 5),
@@ -195,6 +184,23 @@ std::uint32_t HashIteration::hash(std::span<const std::uint8_t> message) const {
     y = mod_p36(y + chunk * l3_key1_[static_cast<std::size_t>(i)]);
   }
   return static_cast<std::uint32_t>(y) ^ l3_key2_;
+}
+
+std::uint32_t HashIteration::hash(std::span<const std::uint8_t> message) const {
+  // L1: split into 1024-byte blocks -> one 64-bit NH value per block, all
+  // but the last folded into the L2 polynomial as they are produced (no
+  // materialized NH-value list).
+  if (message.size() <= kL1BlockBytes) {
+    return stream_finish(/*multi=*/false, 1, message.data(), message.size());
+  }
+  std::uint64_t poly_y = 1;
+  std::size_t offset = 0;
+  while (message.size() - offset > kL1BlockBytes) {
+    stream_absorb(poly_y, message.data() + offset, kL1BlockBytes);
+    offset += kL1BlockBytes;
+  }
+  return stream_finish(/*multi=*/true, poly_y, message.data() + offset,
+                       message.size() - offset);
 }
 
 }  // namespace umac_detail
@@ -234,13 +240,8 @@ Umac32::Umac32(std::span<const std::uint8_t> key)
              load_be32(l3k2_bytes.data()));
 }
 
-std::uint32_t Umac32::tag(std::span<const std::uint8_t> message,
-                          std::uint64_t nonce) const {
-  if (message.size() > kMaxMessageBytes) {
-    throw std::invalid_argument("Umac32: message too long");
-  }
-  const std::uint32_t hashed = iter_.hash(message);
-
+std::uint32_t Umac32::pdf_xor(std::uint32_t hashed,
+                              std::uint64_t nonce) const {
   // PDF: encrypt the nonce with its low two bits cleared; those bits select
   // one of the four 32-bit lanes, so four consecutive nonces share one AES
   // call in a caching implementation.
@@ -253,6 +254,42 @@ std::uint32_t Umac32::tag(std::span<const std::uint8_t> message,
   }
   pdf_cipher_.encrypt_block(in.data(), pad.data());
   return hashed ^ load_be32(pad.data() + 4 * lane);
+}
+
+std::uint32_t Umac32::tag(std::span<const std::uint8_t> message,
+                          std::uint64_t nonce) const {
+  if (message.size() > kMaxMessageBytes) {
+    throw std::invalid_argument("Umac32: message too long");
+  }
+  return pdf_xor(iter_.hash(message), nonce);
+}
+
+void Umac32::Stream::update(std::span<const std::uint8_t> data) {
+  const auto& iter = parent_->iter_;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    if (buffered_ == buf_.size()) {
+      // A full buffer with more data behind it is an intermediate block.
+      iter.stream_absorb(poly_y_, buf_.data(), buf_.size());
+      multi_ = true;
+      buffered_ = 0;
+    }
+    const std::size_t take =
+        std::min(buf_.size() - buffered_, data.size() - offset);
+    std::memcpy(buf_.data() + buffered_, data.data() + offset, take);
+    buffered_ += take;
+    offset += take;
+  }
+  total_ += data.size();
+}
+
+std::uint32_t Umac32::Stream::final(std::uint64_t nonce) const {
+  if (total_ > kMaxMessageBytes) {
+    throw std::invalid_argument("Umac32: message too long");
+  }
+  const std::uint32_t hashed =
+      parent_->iter_.stream_finish(multi_, poly_y_, buf_.data(), buffered_);
+  return parent_->pdf_xor(hashed, nonce);
 }
 
 Umac64::Umac64(std::span<const std::uint8_t> key)

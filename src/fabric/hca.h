@@ -18,6 +18,8 @@ namespace ibsec::fabric {
 
 class Hca final : public Device {
  public:
+  // Set once at wiring time, never per event, so heap-backed type erasure
+  // is fine here.  IBSEC_DETLINT_ALLOW(hot-function)
   using ReceiveCallback = std::function<void(ib::Packet&&)>;
 
   Hca(sim::Simulator& simulator, const FabricConfig& config, int node_id);

@@ -1,6 +1,6 @@
 #include "fabric/link.h"
 
-#include <memory>
+#include <functional>  // std::hash for the per-port fault-stream seed
 
 #include "common/check.h"
 
@@ -96,8 +96,9 @@ std::size_t OutputPort::queue_depth(ib::VirtualLane vl) const {
 }
 
 std::size_t OutputPort::queued_bytes(ib::VirtualLane vl) const {
+  const auto& q = vl_queues_[vl];
   std::size_t bytes = 0;
-  for (const auto& q : vl_queues_[vl]) bytes += q.pkt.wire_size();
+  for (std::size_t i = 0; i < q.size(); ++i) bytes += q.at(i).pkt.wire_size();
   return bytes;
 }
 
@@ -206,7 +207,7 @@ void OutputPort::try_dispatch() {
 
     // Delivery of the last byte at the peer happens after serialization plus
     // propagation; the line frees after serialization alone.
-    sim_.after(tx_time, [this, bytes, tx_time] {
+    auto line_free = [this, bytes, tx_time] {
       line_busy_ = false;
       ++packets_sent_;
       bytes_sent_ += bytes;
@@ -214,7 +215,10 @@ void OutputPort::try_dispatch() {
       obs_packets_->inc();
       obs_bytes_->inc(bytes);
       try_dispatch();
-    });
+    };
+    static_assert(
+        sim::EventQueue::Callback::fits_inline<decltype(line_free)>());
+    sim_.after(tx_time, std::move(line_free));
 
     // Random wire loss: the packet serializes but never arrives. The far
     // buffer never held it, so the mirrored credits come back after the
@@ -256,11 +260,19 @@ void OutputPort::try_dispatch() {
       }
     }
 
-    // Move the packet into the delivery event.
-    auto pkt = std::make_shared<ib::Packet>(std::move(entry.pkt));
-    sim_.after(tx_time + params_.propagation, [this, pkt]() mutable {
-      peer_->packet_arrived(std::move(*pkt), peer_port_);
-    });
+    // Park the packet in a pooled slot for the flight time: the payload
+    // buffer travels by move, and the slot is recycled on arrival, so
+    // steady-state delivery schedules no allocations.
+    ib::Packet* slot = pool_.acquire(std::move(entry.pkt));
+    auto deliver = [this, slot] {
+      peer_->packet_arrived(std::move(*slot), peer_port_);
+      pool_.release(slot);
+    };
+    static_assert(sim::EventQueue::Callback::fits_inline<decltype(deliver)>(),
+                  "delivery capture must stay inside the event's inline "
+                  "storage — growing it past kInlineBytes re-introduces a "
+                  "heap allocation per packet hop");
+    sim_.after(tx_time + params_.propagation, std::move(deliver));
     return;
   }
 }

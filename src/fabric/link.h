@@ -11,14 +11,15 @@
 // trap MADs still get through a congested fabric.
 #pragma once
 
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/ring_queue.h"
 #include "common/rng.h"
 #include "fabric/config.h"
+#include "fabric/packet_pool.h"
 #include "ib/packet.h"
+#include "sim/inline_function.h"
 #include "sim/simulator.h"
 
 namespace ibsec::fabric {
@@ -39,8 +40,10 @@ class Device {
 class OutputPort {
  public:
   /// Invoked when a queued packet starts serialization (used by the sender
-  /// to release its own input buffer / record injection time).
-  using DispatchHook = std::function<void(const ib::Packet&)>;
+  /// to release its own input buffer / record injection time). Inline-only
+  /// storage: one hook lives in every queued packet, so a heap-backed
+  /// callable here would put an allocation on the per-packet hot path.
+  using DispatchHook = sim::InlineFunction<void(const ib::Packet&), 32>;
 
   OutputPort(sim::Simulator& simulator, const LinkParams& params,
              std::string name);
@@ -100,8 +103,14 @@ class OutputPort {
   Device* peer_ = nullptr;
   int peer_port_ = -1;
 
-  std::vector<std::deque<QueuedPacket>> vl_queues_;
+  // Ring buffers, not deques: a QueuedPacket is large enough that libstdc++'s
+  // deque allocates one node per element, which would put a heap allocation
+  // on every enqueue of every hop (the top site in the DoS macro-bench's
+  // allocation profile before the switch).
+  std::vector<RingQueue<QueuedPacket>> vl_queues_;
   std::vector<std::size_t> credits_;
+  /// Recycles the slots that park packets during the propagation delay.
+  PacketPool pool_;
   VlArbiter arbiter_;
   FaultProfile faults_;
   Rng fault_rng_;

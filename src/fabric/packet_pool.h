@@ -1,0 +1,53 @@
+// A free-list of Packet slots for hops in flight between devices.
+//
+// Forwarding a packet across a link or switch pipeline parks it inside a
+// scheduled event for the propagation/pipeline delay. Doing that with
+// make_shared<Packet> costs one allocation per hop; parking it in a pooled
+// slot costs none in steady state — the payload buffer itself travels with
+// the moved Packet, so a packet's bytes are allocated once at creation and
+// then move pointer-wise through the whole fabric.
+//
+// Ownership rules: acquire() hands out a stable Packet* that the owner must
+// pass back to release() exactly once, after moving the packet out. Pools
+// are per-object (one per OutputPort, one per Switch) and single-threaded
+// like everything owned by one Simulator, so no locking. Slot count grows to
+// the maximum number of simultaneously in-flight hops (bounded by link
+// bandwidth-delay product) and then stabilizes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ib/packet.h"
+
+namespace ibsec::fabric {
+
+class PacketPool {
+ public:
+  /// Moves `pkt` into a free slot (allocating a new slot only when the pool
+  /// has no free one) and returns the slot pointer. Pointers stay valid
+  /// until release() — slots are heap cells, never reallocated.
+  ib::Packet* acquire(ib::Packet&& pkt) {
+    if (free_.empty()) {
+      slots_.push_back(std::make_unique<ib::Packet>(std::move(pkt)));
+      return slots_.back().get();
+    }
+    ib::Packet* slot = free_.back();
+    free_.pop_back();
+    *slot = std::move(pkt);
+    return slot;
+  }
+
+  /// Returns a slot to the free list. The caller must have moved the packet
+  /// out (or be done with it); the slot's spent husk is reused as-is.
+  void release(ib::Packet* slot) { free_.push_back(slot); }
+
+  /// Total slots ever created (high-water mark of in-flight hops).
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ib::Packet>> slots_;
+  std::vector<ib::Packet*> free_;
+};
+
+}  // namespace ibsec::fabric

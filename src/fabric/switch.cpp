@@ -118,43 +118,58 @@ void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   trace.span(trace_id, obs::TraceEventType::kSwitch, id_, sim_.now(), delay,
              decision.allow ? "pass" : "pkey_fail");
 
-  auto shared = std::make_shared<ib::Packet>(std::move(pkt));
-  sim_.after(delay, [this, shared, in_port, decision]() mutable {
+  // Park the packet in a pooled slot for the crossing; the slot returns to
+  // the pool on every exit path below, so steady-state crossings schedule no
+  // allocations.
+  ib::Packet* slot = pool_.acquire(std::move(pkt));
+  const bool allow = decision.allow;
+  auto cross = [this, slot, in_port, allow] {
     InputPort& in = inputs_.at(static_cast<std::size_t>(in_port));
-    const ib::VirtualLane pvl = shared->lrh.vl;
-    if (!decision.allow) {
+    const ib::VirtualLane pvl = slot->lrh.vl;
+    if (!allow) {
       ++stats_.dropped_filter;
       obs_.drop_pkey->inc();
-      sim_.trace().instant(sim_.trace().enabled() ? shared->meta.trace_id : 0,
+      sim_.trace().instant(sim_.trace().enabled() ? slot->meta.trace_id : 0,
                            obs::TraceEventType::kSwitchDrop, id_, sim_.now(),
                            "pkey");
-      in.release(*shared, pvl);
+      in.release(*slot, pvl);
+      pool_.release(slot);
       return;
     }
-    const int out_port = routes_.at(shared->lrh.dlid);
+    const int out_port = routes_.at(slot->lrh.dlid);
     if (out_port < 0 || out_port >= num_ports() || out_port == in_port) {
       ++stats_.dropped_no_route;
       obs_.drop_no_route->inc();
-      sim_.trace().instant(sim_.trace().enabled() ? shared->meta.trace_id : 0,
+      sim_.trace().instant(sim_.trace().enabled() ? slot->meta.trace_id : 0,
                            obs::TraceEventType::kSwitchDrop, id_, sim_.now(),
                            "no_route");
-      in.release(*shared, pvl);
+      in.release(*slot, pvl);
+      pool_.release(slot);
       return;
     }
     ++stats_.forwarded;
     obs_.forwarded->inc();
-    shared->refresh_vcrc();
+    slot->refresh_vcrc();
 
     // Hold input-buffer bytes until the packet starts on the output wire;
     // the release triggers the upstream credit return.
-    ib::Packet to_send = std::move(*shared);
+    ib::Packet to_send = std::move(*slot);
+    pool_.release(slot);
+    auto on_dispatch = [this, in_port](const ib::Packet& dispatched) {
+      inputs_.at(static_cast<std::size_t>(in_port))
+          .release(dispatched, dispatched.lrh.vl);
+    };
+    static_assert(OutputPort::DispatchHook::fits_inline<decltype(on_dispatch)>(),
+                  "the dispatch hook must stay inside the queued packet's "
+                  "inline storage");
     outputs_[static_cast<std::size_t>(out_port)]->enqueue(
-        std::move(to_send), pvl,
-        [this, in_port](const ib::Packet& dispatched) {
-          inputs_.at(static_cast<std::size_t>(in_port))
-              .release(dispatched, dispatched.lrh.vl);
-        });
-  });
+        std::move(to_send), pvl, std::move(on_dispatch));
+  };
+  static_assert(sim::EventQueue::Callback::fits_inline<decltype(cross)>(),
+                "the crossing capture must stay inside the event's inline "
+                "storage — growing it past kInlineBytes re-introduces a heap "
+                "allocation per switch crossing");
+  sim_.after(delay, std::move(cross));
 }
 
 }  // namespace ibsec::fabric

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fabric/link.h"
+#include "fabric/packet_pool.h"
 #include "fabric/partition_filter.h"
 #include "fabric/rate_limiter.h"
 
@@ -80,6 +81,8 @@ class Switch final : public Device {
   int id_;
   std::vector<std::unique_ptr<OutputPort>> outputs_;
   std::vector<InputPort> inputs_;
+  /// Recycles the slots that park packets during the crossing delay.
+  PacketPool pool_;
   std::vector<int> routes_;  // indexed by DLID; -1 = no route
   SwitchPartitionFilter filter_;
   // Per-port ingress admission limiter; only HCA-facing ports get one, and

@@ -27,35 +27,6 @@ VlArbiter::VlArbiter(VlArbitrationConfig config) {
   low_.refill();
 }
 
-int VlArbiter::pick_from(TableState& table,
-                         const std::function<bool(ib::VirtualLane)>& sendable) {
-  if (table.empty()) return -1;
-  IBSEC_DCHECK(table.index < table.entries.size());
-  IBSEC_DCHECK(table.remaining <= table.entries[table.index].weight);
-  // Start at the current WRR position; if its weight is spent or it cannot
-  // send, walk forward. One full loop means nothing is sendable.
-  for (std::size_t scanned = 0; scanned < table.entries.size(); ++scanned) {
-    const VlArbitrationEntry& entry = table.entries[table.index];
-    if (table.remaining > 0 && sendable(entry.vl)) {
-      last_table_ = &table;
-      return entry.vl;
-    }
-    table.advance();
-  }
-  return -1;
-}
-
-int VlArbiter::pick(const std::function<bool(ib::VirtualLane)>& sendable) {
-  const int high = pick_from(high_, sendable);
-  if (high >= 0) {
-    if (obs_high_grants_ != nullptr) obs_high_grants_->inc();
-    return high;
-  }
-  const int low = pick_from(low_, sendable);
-  if (low >= 0 && obs_low_grants_ != nullptr) obs_low_grants_->inc();
-  return low;
-}
-
 void VlArbiter::on_sent(ib::VirtualLane vl, std::size_t bytes) {
   if (last_table_ == nullptr || last_table_->empty()) return;
   TableState& table = *last_table_;

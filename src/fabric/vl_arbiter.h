@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/check.h"
 #include "ib/types.h"
 #include "obs/registry.h"
 
@@ -44,8 +44,20 @@ class VlArbiter {
 
   /// Picks the next VL allowed to transmit, or -1. `sendable(vl)` must
   /// return true iff that VL has a packet that fits its credits. VL15 is
-  /// NOT handled here (no arbitration applies to it).
-  int pick(const std::function<bool(ib::VirtualLane)>& sendable);
+  /// NOT handled here (no arbitration applies to it). Templated on the
+  /// predicate so the per-dispatch call stays a direct lambda invocation —
+  /// no std::function wrapper on the hot path.
+  template <class Sendable>
+  int pick(const Sendable& sendable) {
+    const int high = pick_from(high_, sendable);
+    if (high >= 0) {
+      if (obs_high_grants_ != nullptr) obs_high_grants_->inc();
+      return high;
+    }
+    const int low = pick_from(low_, sendable);
+    if (low >= 0 && obs_low_grants_ != nullptr) obs_low_grants_->inc();
+    return low;
+  }
 
   /// Informs the arbiter that `bytes` were transmitted on `vl`, consuming
   /// weight and advancing the WRR pointer when the entry is exhausted.
@@ -77,8 +89,23 @@ class VlArbiter {
   };
 
   /// Scans a table WRR-style; returns the chosen VL or -1.
-  int pick_from(TableState& table,
-                const std::function<bool(ib::VirtualLane)>& sendable);
+  template <class Sendable>
+  int pick_from(TableState& table, const Sendable& sendable) {
+    if (table.empty()) return -1;
+    IBSEC_DCHECK(table.index < table.entries.size());
+    IBSEC_DCHECK(table.remaining <= table.entries[table.index].weight);
+    // Start at the current WRR position; if its weight is spent or it cannot
+    // send, walk forward. One full loop means nothing is sendable.
+    for (std::size_t scanned = 0; scanned < table.entries.size(); ++scanned) {
+      const VlArbitrationEntry& entry = table.entries[table.index];
+      if (table.remaining > 0 && sendable(entry.vl)) {
+        last_table_ = &table;
+        return entry.vl;
+      }
+      table.advance();
+    }
+    return -1;
+  }
 
   TableState high_;
   TableState low_;

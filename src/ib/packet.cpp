@@ -6,6 +6,73 @@
 namespace ibsec::ib {
 namespace {
 
+// Streams the packet body (headers, optionally ICRC-masked, then payload)
+// into `sink` piecewise: each header is serialized into a stack buffer and
+// handed over, the payload is handed over in place. Every body consumer —
+// materializing into a vector, or feeding an incremental CRC — goes through
+// this one function, so the byte stream is identical by construction.
+template <class Sink>
+void stream_body(const Packet& pkt, bool masked, Sink&& sink) {
+  std::uint8_t buf[Grh::kWireSize];  // large enough for every header
+
+  pkt.lrh.serialize(std::span<std::uint8_t, Lrh::kWireSize>(buf,
+                                                            Lrh::kWireSize));
+  if (masked) {
+    buf[0] |= 0xF0;  // LRH.VL nibble -> ones
+  }
+  sink(std::span<const std::uint8_t>(buf, Lrh::kWireSize));
+
+  if (pkt.grh) {
+    pkt.grh->serialize(std::span<std::uint8_t, Grh::kWireSize>(
+        buf, Grh::kWireSize));
+    if (masked) {
+      // tclass + flow_label live in bytes 0..3 (with ip_ver in the top
+      // nibble of byte 0); hop_limit is byte 7 (IBA 7.8.1 / 9.8).
+      buf[0] |= 0x0F;
+      buf[1] = 0xFF;
+      buf[2] = 0xFF;
+      buf[3] = 0xFF;
+      buf[7] = 0xFF;
+    }
+    sink(std::span<const std::uint8_t>(buf, Grh::kWireSize));
+  }
+
+  pkt.bth.serialize(std::span<std::uint8_t, Bth::kWireSize>(buf,
+                                                            Bth::kWireSize));
+  if (masked) {
+    buf[4] = 0xFF;  // BTH.resv8a — where the auth algorithm id rides
+  }
+  sink(std::span<const std::uint8_t>(buf, Bth::kWireSize));
+
+  if (pkt.deth) {
+    pkt.deth->serialize(std::span<std::uint8_t, Deth::kWireSize>(
+        buf, Deth::kWireSize));
+    sink(std::span<const std::uint8_t>(buf, Deth::kWireSize));
+  }
+  if (pkt.reth) {
+    pkt.reth->serialize(std::span<std::uint8_t, Reth::kWireSize>(
+        buf, Reth::kWireSize));
+    sink(std::span<const std::uint8_t>(buf, Reth::kWireSize));
+  }
+  if (pkt.aeth) {
+    pkt.aeth->serialize(std::span<std::uint8_t, Aeth::kWireSize>(
+        buf, Aeth::kWireSize));
+    sink(std::span<const std::uint8_t>(buf, Aeth::kWireSize));
+  }
+
+  if (!pkt.payload.empty()) {
+    sink(std::span<const std::uint8_t>(pkt.payload.data(),
+                                       pkt.payload.size()));
+  }
+}
+
+void append_icrc_be(std::vector<std::uint8_t>& out, std::uint32_t icrc) {
+  out.push_back(static_cast<std::uint8_t>(icrc >> 24));
+  out.push_back(static_cast<std::uint8_t>(icrc >> 16));
+  out.push_back(static_cast<std::uint8_t>(icrc >> 8));
+  out.push_back(static_cast<std::uint8_t>(icrc));
+}
+
 bool known_opcode(std::uint8_t raw) {
   switch (static_cast<OpCode>(raw)) {
     case OpCode::kRcSendFirst:
@@ -37,81 +104,72 @@ std::size_t Packet::wire_size() const {
   return headers_size() + payload.size() + 4 /*ICRC*/ + 2 /*VCRC*/;
 }
 
+void Packet::append_body(std::vector<std::uint8_t>& out, bool masked) const {
+  stream_body(*this, masked, [&out](std::span<const std::uint8_t> piece) {
+    out.insert(out.end(), piece.begin(), piece.end());
+  });
+}
+
 void Packet::serialize_body(std::vector<std::uint8_t>& out,
                             bool masked) const {
-  out.resize(headers_size() + payload.size());
-  std::size_t offset = 0;
+  out.clear();
+  out.reserve(headers_size() + payload.size());
+  append_body(out, masked);
+}
 
-  lrh.serialize(std::span<std::uint8_t, Lrh::kWireSize>(&out[offset],
-                                                        Lrh::kWireSize));
-  if (masked) {
-    out[offset] |= 0xF0;  // LRH.VL nibble -> ones
-  }
-  offset += Lrh::kWireSize;
+void Packet::icrc_covered_into(std::vector<std::uint8_t>& out) const {
+  serialize_body(out, /*masked=*/true);
+}
 
-  if (grh) {
-    grh->serialize(std::span<std::uint8_t, Grh::kWireSize>(&out[offset],
-                                                           Grh::kWireSize));
-    if (masked) {
-      // tclass + flow_label live in bytes 0..3 (with ip_ver in the top
-      // nibble of byte 0); hop_limit is byte 7 (IBA 7.8.1 / 9.8).
-      out[offset] |= 0x0F;
-      out[offset + 1] = 0xFF;
-      out[offset + 2] = 0xFF;
-      out[offset + 3] = 0xFF;
-      out[offset + 7] = 0xFF;
-    }
-    offset += Grh::kWireSize;
-  }
+void Packet::vcrc_covered_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  out.reserve(headers_size() + payload.size() + 4);
+  append_body(out, /*masked=*/false);
+  append_icrc_be(out, icrc);
+}
 
-  bth.serialize(std::span<std::uint8_t, Bth::kWireSize>(&out[offset],
-                                                        Bth::kWireSize));
-  if (masked) {
-    out[offset + 4] = 0xFF;  // BTH.resv8a — where the auth algorithm id rides
-  }
-  offset += Bth::kWireSize;
-
-  if (deth) {
-    deth->serialize(std::span<std::uint8_t, Deth::kWireSize>(
-        &out[offset], Deth::kWireSize));
-    offset += Deth::kWireSize;
-  }
-  if (reth) {
-    reth->serialize(std::span<std::uint8_t, Reth::kWireSize>(
-        &out[offset], Reth::kWireSize));
-    offset += Reth::kWireSize;
-  }
-  if (aeth) {
-    aeth->serialize(std::span<std::uint8_t, Aeth::kWireSize>(
-        &out[offset], Aeth::kWireSize));
-    offset += Aeth::kWireSize;
-  }
-
-  std::copy(payload.begin(), payload.end(), out.begin() + static_cast<long>(offset));
+void Packet::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  out.reserve(wire_size());
+  append_body(out, /*masked=*/false);
+  append_icrc_be(out, icrc);
+  out.push_back(static_cast<std::uint8_t>(vcrc >> 8));
+  out.push_back(static_cast<std::uint8_t>(vcrc));
 }
 
 std::vector<std::uint8_t> Packet::icrc_covered_bytes() const {
   std::vector<std::uint8_t> out;
-  serialize_body(out, /*masked=*/true);
+  icrc_covered_into(out);
   return out;
 }
 
 std::vector<std::uint8_t> Packet::vcrc_covered_bytes() const {
   std::vector<std::uint8_t> out;
-  serialize_body(out, /*masked=*/false);
-  out.push_back(static_cast<std::uint8_t>(icrc >> 24));
-  out.push_back(static_cast<std::uint8_t>(icrc >> 16));
-  out.push_back(static_cast<std::uint8_t>(icrc >> 8));
-  out.push_back(static_cast<std::uint8_t>(icrc));
+  vcrc_covered_into(out);
   return out;
 }
 
 std::uint32_t Packet::compute_icrc() const {
-  return crypto::crc32(icrc_covered_bytes());
+  crypto::Crc32 crc;
+  stream_body(*this, /*masked=*/true,
+              [&crc](std::span<const std::uint8_t> piece) {
+                crc.update(piece);
+              });
+  return crc.value();
 }
 
 std::uint16_t Packet::compute_vcrc() const {
-  return crypto::crc16_iba(vcrc_covered_bytes());
+  crypto::Crc16Iba crc;
+  stream_body(*this, /*masked=*/false,
+              [&crc](std::span<const std::uint8_t> piece) {
+                crc.update(piece);
+              });
+  const std::uint8_t trailer[4] = {static_cast<std::uint8_t>(icrc >> 24),
+                                   static_cast<std::uint8_t>(icrc >> 16),
+                                   static_cast<std::uint8_t>(icrc >> 8),
+                                   static_cast<std::uint8_t>(icrc)};
+  crc.update(trailer);
+  return crc.value();
 }
 
 void Packet::set_lengths() {
@@ -128,14 +186,7 @@ void Packet::finalize() {
 
 std::vector<std::uint8_t> Packet::serialize() const {
   std::vector<std::uint8_t> out;
-  serialize_body(out, /*masked=*/false);
-  out.reserve(out.size() + 6);
-  out.push_back(static_cast<std::uint8_t>(icrc >> 24));
-  out.push_back(static_cast<std::uint8_t>(icrc >> 16));
-  out.push_back(static_cast<std::uint8_t>(icrc >> 8));
-  out.push_back(static_cast<std::uint8_t>(icrc));
-  out.push_back(static_cast<std::uint8_t>(vcrc >> 8));
-  out.push_back(static_cast<std::uint8_t>(vcrc));
+  serialize_into(out);
   return out;
 }
 

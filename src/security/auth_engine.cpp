@@ -53,7 +53,8 @@ bool AuthEngine::sign(ib::Packet& pkt) {
   // field is covered, so it must be set before tagging.
   pkt.bth.resv8a = static_cast<std::uint8_t>(mac->algorithm());
   pkt.set_lengths();
-  pkt.icrc = mac->tag32(pkt.icrc_covered_bytes(), pkt.bth.psn);
+  pkt.icrc_covered_into(scratch_);
+  pkt.icrc = mac->tag32(scratch_, pkt.bth.psn);
   pkt.refresh_vcrc();
   ++stats_.signed_packets;
   obs_signed_->inc();
@@ -132,12 +133,12 @@ transport::AuthVerdict AuthEngine::verify_impl(const ib::Packet& pkt) {
     obs_fail_no_key_->inc();
     return transport::AuthVerdict::kRejectNoKey;
   }
-  const auto bytes = pkt.icrc_covered_bytes();
+  pkt.icrc_covered_into(scratch_);
   const auto accepts = [&](const crypto::MacFunction* m) {
     // Algorithm mismatch fails closed: no downgrade negotiation.
     return m != nullptr &&
            static_cast<std::uint8_t>(m->algorithm()) == pkt.bth.resv8a &&
-           m->verify(bytes, pkt.bth.psn, pkt.icrc);
+           m->verify(scratch_, pkt.bth.psn, pkt.icrc);
   };
   if (!accepts(mac)) {
     if (accepts(prev)) {

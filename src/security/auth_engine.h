@@ -19,6 +19,7 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <vector>
 
 #include "security/key_manager.h"
 #include "security/replay_window.h"
@@ -88,6 +89,11 @@ class AuthEngine final : public transport::PacketAuthenticator {
   // Stream key: (dest QP, sender node, sender QP).
   std::map<std::tuple<ib::Qpn, std::uint16_t, ib::Qpn>, ReplayWindow>
       windows_;
+  // Reusable buffer for the ICRC-covered bytes: sign/verify run once per
+  // packet, so materializing into a fresh vector each time would put an
+  // allocation (and a copy-sized free) on the per-packet crypto path. The
+  // buffer grows to the largest packet seen and then stops allocating.
+  std::vector<std::uint8_t> scratch_;
   Stats stats_;
   // Fabric-wide "auth.*" counters: every engine in the simulation shares the
   // same registry entries, so a snapshot shows the aggregate directly.

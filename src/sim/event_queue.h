@@ -3,30 +3,70 @@
 // Ties are broken by insertion sequence number so that events scheduled for
 // the same instant fire in FIFO order — this makes the whole simulation a
 // deterministic function of (topology, seed), which the experiment sweeps
-// and regression tests rely on.
+// and regression tests rely on. Because (time, seq) is a strict total order
+// (seq is unique), every correct priority queue pops the same sequence; the
+// heap layout below is a performance choice, not a behaviour choice.
+//
+// Layout: the binary heap orders 16-byte trivially-copyable {time, seq|slot}
+// entries, while the callbacks themselves sit still in a recycled slot pool.
+// Keeping the ~90-byte inline callbacks out of the heap matters twice over:
+// every push/pop sifts O(log n) entries, and sifting PODs is a handful of
+// moves where sifting whole events would run InlineFunction's relocate
+// machinery at each level. The pool is chunked (fixed-size arrays behind
+// stable pointers) so a slot's address never changes; pop_and_run() exploits
+// that to invoke the callback in place even while it schedules new events.
+// The slot free list makes steady-state scheduling allocation-free once the
+// pool has grown to the peak in-flight event count (the same recycling
+// policy as common/ring_queue.h and fabric's PacketPool).
 //
 // The heap is managed directly over a vector with std::push_heap /
-// std::pop_heap (instead of std::priority_queue) so that pop() can move the
-// callback out of the popped element without const_cast-ing the container's
-// top() reference — the UB-adjacent pattern std::priority_queue forces.
+// std::pop_heap (instead of std::priority_queue) so that pop() can take the
+// popped entry by value without const_cast-ing the container's top()
+// reference — the UB-adjacent pattern std::priority_queue forces.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/time.h"
+#include "sim/inline_function.h"
 
 namespace ibsec::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Scheduling is allocation-free: callbacks live inline in the recycled
+  /// pool slots (see sim/inline_function.h for the capture-size contract).
+  using Callback = InlineFunction<void(), 64>;
 
-  void schedule(SimTime when, Callback fn) {
-    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+  /// Accepts any callable a Callback can hold; a raw lambda is constructed
+  /// directly in its pool slot (no Callback temporary on the way in).
+  template <class F>
+  void schedule(SimTime when, F&& fn) {
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = total_slots_++;
+      IBSEC_DCHECK(slot < kSlotCount);
+      if ((slot & kChunkMask) == 0) {
+        chunks_.push_back(std::make_unique<Chunk>());
+      }
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+      slot_ref(slot) = std::forward<F>(fn);
+    } else {
+      slot_ref(slot).emplace(std::forward<F>(fn));
+    }
+    IBSEC_DCHECK(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)));
+    heap_.push_back(Entry{when, (next_seq_++ << kSlotBits) | slot});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
@@ -41,31 +81,87 @@ class EventQueue {
   /// Removes and returns the earliest event's callback, advancing nothing
   /// else; the Simulator owns the clock.
   Callback pop(SimTime& time_out) {
-    IBSEC_DCHECK(!heap_.empty());
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    time_out = ev.time;
-    return std::move(ev.fn);
+    const Entry entry = pop_entry();
+    time_out = entry.time;
+    const auto slot = slot_of(entry);
+    // Moving out leaves the slot empty, so recycling it later destroys
+    // nothing stale.
+    Callback fn = std::move(slot_ref(slot));
+    free_slots_.push_back(slot);
+    return fn;
+  }
+
+  /// Pops the earliest event, reports its time through `set_time`, then runs
+  /// the callback *in place* — no move out of the pool. Safe against
+  /// reentrant schedule() calls because chunk addresses are stable and the
+  /// executing slot is only put back on the free list after it returns.
+  template <class SetTime>
+  void pop_and_run(SetTime&& set_time) {
+    const Entry entry = pop_entry();
+    set_time(entry.time);
+    const auto slot = slot_of(entry);
+    Callback& fn = slot_ref(slot);
+    fn();
+    fn = nullptr;
+    free_slots_.push_back(slot);
   }
 
  private:
-  struct Event {
+  // seq_slot packs the slot index into the low kSlotBits and the insertion
+  // sequence number above them. seq strictly increases and never repeats,
+  // so comparing the packed word tie-breaks identically to comparing seq
+  // alone — the slot bits can never decide between two live entries.
+  // Packing shrinks an Entry to 16 bytes, one third off every sift move.
+  static constexpr std::uint64_t kSlotBits = 24;  // 16M concurrent events
+  static constexpr std::uint64_t kSlotCount = std::uint64_t{1} << kSlotBits;
+
+  static constexpr std::uint32_t kChunkSize = 512;  // slots per pool chunk
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+  static constexpr std::uint32_t kChunkShift = 9;
+  static_assert(std::uint32_t{1} << kChunkShift == kChunkSize);
+  using Chunk = std::array<Callback, kChunkSize>;
+
+  struct Entry {
     SimTime time;
-    std::uint64_t seq;
-    Callback fn;
+    std::uint64_t seq_slot;
   };
+  static_assert(std::is_trivially_copyable_v<Entry>);
+  static_assert(sizeof(Entry) == 16);
 
   /// Orders later events below earlier ones so the heap front is the
   /// earliest (make_heap builds a max-heap with respect to the comparator).
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    bool operator()(const Entry& a, const Entry& b) const {
+      // Bitwise, not short-circuit: which sibling wins a sift comparison is
+      // data-dependent and mispredicts badly as a branch, so give the
+      // compiler a branch-free expression it can turn into setcc/cmov.
+      const bool later_time = a.time > b.time;
+      const bool same_time = a.time == b.time;
+      const bool later_seq = a.seq_slot > b.seq_slot;
+      return later_time | (same_time & later_seq);
     }
   };
 
-  std::vector<Event> heap_;
+  Entry pop_entry() {
+    IBSEC_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Entry entry = heap_.back();
+    heap_.pop_back();
+    return entry;
+  }
+
+  static std::uint32_t slot_of(const Entry& entry) {
+    return static_cast<std::uint32_t>(entry.seq_slot & (kSlotCount - 1));
+  }
+
+  Callback& slot_ref(std::uint32_t slot) {
+    return (*chunks_[slot >> kChunkShift])[slot & kChunkMask];
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t total_slots_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -29,14 +29,17 @@ class Simulator {
   obs::TraceRecorder& trace() { return trace_; }
   const obs::TraceRecorder& trace() const { return trace_; }
 
-  /// Schedules `fn` at absolute time `when` (must be >= now()).
-  void at(SimTime when, EventQueue::Callback fn) {
-    queue_.schedule(when < now_ ? now_ : when, std::move(fn));
+  /// Schedules `fn` at absolute time `when` (must be >= now()). Forwards the
+  /// raw callable so it is built in place inside the queue's slot pool.
+  template <class F>
+  void at(SimTime when, F&& fn) {
+    queue_.schedule(when < now_ ? now_ : when, std::forward<F>(fn));
   }
 
   /// Schedules `fn` `delay` after the current time.
-  void after(SimTime delay, EventQueue::Callback fn) {
-    queue_.schedule(now_ + delay, std::move(fn));
+  template <class F>
+  void after(SimTime delay, F&& fn) {
+    queue_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
   /// Runs events until the queue drains or the clock passes `end`.
@@ -58,11 +61,10 @@ class Simulator {
 
  private:
   void step() {
-    SimTime t = now_;
-    auto fn = queue_.pop(t);
-    now_ = t;
-    ++events_processed_;
-    fn();
+    queue_.pop_and_run([this](SimTime t) {
+      now_ = t;
+      ++events_processed_;
+    });
   }
 
   EventQueue queue_;

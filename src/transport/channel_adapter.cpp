@@ -535,6 +535,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
         ++counters_.reassembly_errors;
         break;
       }
+      r.data.reserve(r.data.size() + pkt.payload.size());
       r.data.insert(r.data.end(), pkt.payload.begin(), pkt.payload.end());
       break;
     }
@@ -544,6 +545,7 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
         ++counters_.reassembly_errors;
         break;
       }
+      r.data.reserve(r.data.size() + pkt.payload.size());
       r.data.insert(r.data.end(), pkt.payload.begin(), pkt.payload.end());
       r.active = false;
       ++counters_.messages_delivered;

@@ -4,6 +4,8 @@
 // scheduling-sensitive counter breaks these.
 #include <gtest/gtest.h>
 
+#include "common/hex.h"
+#include "crypto/sha256.h"
 #include "workload/experiment.h"
 
 namespace ibsec::workload {
@@ -107,6 +109,51 @@ TEST(Determinism, DifferentSeedsDifferentSnapshots) {
   cfg.seed += 1;
   Scenario second(cfg);
   EXPECT_NE(first.run().obs, second.run().obs);
+}
+
+std::string sha256_hex(const std::string& s) {
+  const auto digest = crypto::Sha256::hash(
+      std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  return to_hex(digest);
+}
+
+TEST(Determinism, GoldenExportHashesAcrossRefactors) {
+  // Run-to-run determinism (the tests above) would not notice a refactor
+  // that deterministically changes simulation behaviour — e.g. a callback
+  // container that reorders same-instant events, or a CRC/MAC rewrite that
+  // computes different bytes. These SHA-256 hashes pin the exact exports of
+  // two config variants; they only move when an intentional behaviour
+  // change ships, and such a change must update them in the same commit
+  // with a note in CHANGES.md.
+  struct Golden {
+    int variant;
+    const char* obs_json;
+    const char* trace_json;
+    const char* breakdown_csv;
+    const char* timeseries_csv;
+  };
+  const Golden kGolden[] = {
+      {0, "d09a3fb618a04f7c45b25049230cc2b5e450851a6d15861ed61b1c22ee0030bf",
+       "b91a24f7b2abbcc31b2706d35a19b77f7d2951c85102baf25ae78d24cc3b5bb6",
+       "eebf4423c8ae660d320b3cfcf6dc310d5109c4736beb97aec8a01a77705258b8",
+       "e183d754cf79b400646488d00449d68e2190883a6ac98f04f72c1c8a4123a903"},
+      {2, "01238c0759fce0c91e738386a32e89fe660793632fcab9b8bece2a4a8fe44660",
+       "fe16a728575a30551014de0b07e1a86ab55ecec19aefeb6024078fa7c6050c00",
+       "586f3598ae5ec5a1b2256cbc5e6ea1010b3862fbbe36e2812a80ad04a2ecb457",
+       "3587574b7b069e741c52a088fba2244d450256e8cb88a1c4b11277882596642e"},
+  };
+  for (const Golden& golden : kGolden) {
+    Scenario scenario(config_variant(golden.variant));
+    const ScenarioResult r = scenario.run();
+    EXPECT_EQ(sha256_hex(r.obs.to_json()), golden.obs_json)
+        << "variant " << golden.variant << " obs snapshot drifted";
+    EXPECT_EQ(sha256_hex(r.trace_json), golden.trace_json)
+        << "variant " << golden.variant << " trace export drifted";
+    EXPECT_EQ(sha256_hex(r.trace_breakdown_csv), golden.breakdown_csv)
+        << "variant " << golden.variant << " latency breakdown drifted";
+    EXPECT_EQ(sha256_hex(r.timeseries_csv), golden.timeseries_csv)
+        << "variant " << golden.variant << " time series drifted";
+  }
 }
 
 TEST(Determinism, SweepWorkerCountInvariant) {

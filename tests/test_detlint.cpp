@@ -119,6 +119,54 @@ TEST(DetlintRules, ContractLibraryHeaderIsExemptFromRawAssert) {
       scan_source("src/common/check.h", "assert(armed);\n").empty());
 }
 
+TEST(DetlintRules, StdFunctionInSimHeaderIsFlagged) {
+  const auto findings = scan_source(
+      "src/sim/x.h", "using Callback = std::function<void()>;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hot-function");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(DetlintRules, StdFunctionInFabricHeaderIsFlagged) {
+  const auto findings = scan_source(
+      "src/fabric/x.hpp", "std::function<void(int)> hook_;\n");
+  EXPECT_EQ(count_rule(findings, "hot-function"), 1u);
+}
+
+TEST(DetlintRules, StdFunctionOutsideHotLayersIsNotFlagged) {
+  // Cold layers (workload, obs, transport setup paths) may type-erase.
+  EXPECT_TRUE(
+      scan_source("src/workload/x.h", "std::function<void()> done_;\n")
+          .empty());
+  EXPECT_TRUE(scan_source("src/obs/x.h", "std::function<int()> probe_;\n")
+                  .empty());
+}
+
+TEST(DetlintRules, StdFunctionInHotLayerCppIsNotFlagged) {
+  // Implementation files are not part of the per-event structs/signatures;
+  // the rule polices headers only.
+  EXPECT_TRUE(
+      scan_source("src/sim/x.cpp", "std::function<void()> local;\n").empty());
+}
+
+TEST(DetlintRules, UnqualifiedFunctionWordIsNotFlagged) {
+  const auto findings = scan_source(
+      "src/sim/x.h",
+      "sim::InlineFunction<void()> cb;\n"
+      "// a function pointer table\n"
+      "int function = 3;\n");
+  EXPECT_TRUE(findings.empty()) << to_text(findings);
+}
+
+TEST(DetlintRules, HotFunctionAllowSuppresses) {
+  const auto findings = scan_source(
+      "src/fabric/x.h",
+      "// set once at wiring, never per event "
+      "IBSEC_DETLINT_ALLOW(hot-function)\n"
+      "using ReceiveCallback = std::function<void(ib::Packet&&)>;\n");
+  EXPECT_TRUE(findings.empty()) << to_text(findings);
+}
+
 // --- lexing: comments and strings never trigger ------------------------------
 
 TEST(DetlintLexing, CommentsAndStringsAreIgnored) {

@@ -218,6 +218,7 @@ constexpr std::string_view kRawRand = "raw-rand";
 constexpr std::string_view kWallClock = "wall-clock";
 constexpr std::string_view kPointerKeyed = "pointer-keyed-container";
 constexpr std::string_view kRawAssert = "raw-assert";
+constexpr std::string_view kHotFunction = "hot-function";
 constexpr std::string_view kBadAllow = "bad-allow";
 
 const std::vector<RuleInfo>& rule_table() {
@@ -237,6 +238,9 @@ const std::vector<RuleInfo>& rule_table() {
       {kRawAssert,
        "assert() vanishes under NDEBUG; use IBSEC_CHECK/IBSEC_DCHECK "
        "(common/check.h)"},
+      {kHotFunction,
+       "std::function in a sim/ or fabric/ header heap-allocates on the "
+       "per-event path; use sim::InlineFunction (sim/inline_function.h)"},
       {kBadAllow, "IBSEC_DETLINT_ALLOW names a rule detlint does not have"},
   };
   return kRules;
@@ -407,6 +411,27 @@ void scan_line(std::string_view path, std::string_view line, int lineno,
             "std::" + std::string(word) + " keyed by '" + trim(arg) +
                 "' iterates in allocation-address order, which is "
                 "nondeterministic; key by a stable id (node, QPN, name)");
+      }
+    }
+  }
+
+  // hot-function: std::function in headers of the per-event layers. Headers
+  // only — a .cpp using std::function for setup/cold paths is fine, but a
+  // header type ends up in the structs and signatures the hot loops touch.
+  // src/sim and src/fabric are the layers with a per-event / per-packet
+  // budget; the allocation contract lives in sim/inline_function.h.
+  if ((path.find("/sim/") != std::string_view::npos ||
+       path.find("/fabric/") != std::string_view::npos) &&
+      (path_ends_with(path, ".h") || path_ends_with(path, ".hpp")) &&
+      !starts_with_include(line)) {
+    for (const std::size_t pos : word_positions(line, "function")) {
+      if (pos >= 5 && line.compare(pos - 5, 5, "std::") == 0) {
+        add(kHotFunction,
+            "std::function type-erases through the heap once a capture "
+            "outgrows its small buffer, putting an allocation on the "
+            "per-event path; use sim::InlineFunction "
+            "(sim/inline_function.h), which rejects oversized captures at "
+            "compile time");
       }
     }
   }

@@ -25,6 +25,14 @@
 //   raw-assert               assert() outside common/check.h: compiles away
 //                            under NDEBUG, so release builds lose the
 //                            invariant. Use IBSEC_CHECK / IBSEC_DCHECK.
+//   hot-function             std::function in a sim/ or fabric/ header:
+//                            those layers run per event / per packet, and
+//                            std::function's type erasure heap-allocates for
+//                            captures over its tiny SSO buffer. Use
+//                            sim::InlineFunction (sim/inline_function.h),
+//                            which asserts captures fit inline. Not a
+//                            determinism rule, but the hot-path allocation
+//                            contract is policed the same way.
 //
 // Suppression grammar: a comment naming one or more rules (comma-separated)
 // on the same line as the finding, or on the line directly above, waives it:
