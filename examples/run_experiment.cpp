@@ -38,6 +38,13 @@ void usage(const char* prog) {
       "  --partitions N       number of random partitions (default 4)\n"
       "  --rate-limit F       ingress admission cap fraction, 0 = off\n"
       "  --valid-pkey-attack  attackers flood with their own valid P_Key\n"
+      "  --attack SPEC        seeded control-plane attack campaigns, e.g.\n"
+      "                       'seed=7;attack=scan:count=600,keyspace=64;"
+      "attack=trap-forge'\n"
+      "                       kinds: scan|trap-forge|rc-spoof|replay|"
+      "side-channel\n"
+      "  --no-trap-validation disable the SM's forged-trap plausibility check\n"
+      "  --no-rc-validate     disable RC ACK/NAK PSN validation (fail-open)\n"
       "  --faults SPEC        deterministic fault campaign, e.g.\n"
       "                       'seed=42;drop=0.01;corrupt=0.005;"
       "link=sw1.out3:drop=0.5;flap=sw1.out3:100us-300us;dead-switch=5'\n"
@@ -148,6 +155,18 @@ int main(int argc, char** argv) {
       cfg.fabric.ingress_rate_limit_fraction = value;
     } else if (arg == "--valid-pkey-attack") {
       cfg.attack_with_valid_pkey = true;
+    } else if (arg == "--attack") {
+      const char* spec = next();
+      const auto campaign = workload::AttackCampaignSpec::parse(spec);
+      if (!campaign) {
+        std::fprintf(stderr, "bad --attack spec: %s\n", spec);
+        return 2;
+      }
+      cfg.attack = *campaign;
+    } else if (arg == "--no-trap-validation") {
+      cfg.sm_trap_validation = false;
+    } else if (arg == "--no-rc-validate") {
+      cfg.rc.validate_control = false;
     } else if (arg == "--faults") {
       const char* spec = next();
       const auto campaign = fabric::FaultCampaign::parse(spec);
@@ -201,6 +220,12 @@ int main(int argc, char** argv) {
   if (cfg.fabric.fault_campaign.enabled()) {
     std::printf("faults: %s\n", cfg.fabric.fault_campaign.describe().c_str());
   }
+  if (cfg.attack.enabled()) {
+    std::printf("%s (trap validation %s, rc validation %s)\n",
+                cfg.attack.describe().c_str(),
+                cfg.sm_trap_validation ? "on" : "off",
+                cfg.rc.validate_control ? "on" : "off");
+  }
   if (cfg.enable_rc_messages) {
     std::printf("rc: load=%.2f timeout=%lld us retries=%d window=%zu\n",
                 cfg.rc_load,
@@ -216,10 +241,11 @@ int main(int argc, char** argv) {
   workload::PacketTraceRecorder trace;
   if (!packet_csv_path.empty()) {
     for (int node = 0; node < scenario.fabric().node_count(); ++node) {
-      scenario.ca(node).set_delivery_probe([&](const ib::Packet& pkt) {
-        scenario.metrics().record(pkt);
-        trace.record(pkt);
-      });
+      scenario.ca(node).set_delivery_probe(
+          [&scenario, &trace, node](const ib::Packet& pkt) {
+            scenario.probe_delivery(node, pkt);
+            trace.record(pkt);
+          });
     }
   }
   const auto r = scenario.run();
@@ -291,6 +317,34 @@ int main(int argc, char** argv) {
                 "retry exhausted %llu)\n",
                 sum("ca.*.rc.retransmits"), sum("ca.*.rc.acks"),
                 sum("ca.*.rc.naks"), sum("ca.*.rc.retry_exhausted"));
+  }
+  if (cfg.attack.enabled()) {
+    const auto sum = [&r](const std::string& pattern) {
+      return static_cast<unsigned long long>(r.obs.sum_matching(pattern));
+    };
+    std::printf("\nattack campaigns  attempts %llu  successes %llu\n",
+                static_cast<unsigned long long>(r.attack_attempts),
+                static_cast<unsigned long long>(r.attack_successes));
+    for (const auto kind :
+         {workload::AttackKind::kScan, workload::AttackKind::kTrapForge,
+          workload::AttackKind::kRcSpoof, workload::AttackKind::kReplay,
+          workload::AttackKind::kSideChannel}) {
+      const std::string name = workload::to_string(kind);
+      const auto attempts = sum("attacker." + name + ".attempts");
+      if (attempts == 0) continue;
+      std::printf("  %-13s attempts %-8llu successes %llu\n", name.c_str(),
+                  attempts, sum("attacker." + name + ".success"));
+    }
+    std::printf("  defenses      qkey drops %llu  traps rejected %llu  "
+                "poisoned installs %llu\n",
+                static_cast<unsigned long long>(r.qkey_drops),
+                static_cast<unsigned long long>(scenario.sm().traps_rejected()),
+                static_cast<unsigned long long>(
+                    scenario.sm().poisoned_installs()));
+    std::printf("  rc            spoofed control accepted %llu  "
+                "bad control %llu  auth replays %llu\n",
+                sum("ca.*.rc.spoofed_control_accepted"),
+                sum("ca.*.retired.rc_bad_control"), sum("auth.fail.replay"));
   }
   std::printf("max link util     %.1f%%\n",
               100.0 * scenario.fabric().max_link_utilization());

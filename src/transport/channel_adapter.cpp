@@ -776,6 +776,20 @@ void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
     retire_.rc_bad_control->inc();
     return;
   }
+  // Clearing window entries on an attack-tagged control packet is the
+  // adversary "earning" progress it shouldn't — the rc-spoof campaign's
+  // success signal. Lazily resolved so attack-free runs never grow a
+  // snapshot entry.
+  const auto note_spoof = [this](const ib::Packet& p, std::size_t cleared) {
+    if (!p.meta.is_attack || cleared == 0) return;
+    ++counters_.rc_spoofed_accepted;
+    if (rc_spoofed_obs_ == nullptr) {
+      rc_spoofed_obs_ = &fabric_.simulator().obs().counter(
+          "ca." + std::to_string(node_) + ".rc.spoofed_control_accepted");
+    }
+    rc_spoofed_obs_->inc();
+  };
+
   const ib::Psn psn = pkt.aeth->msn & ib::kPsnMask;
   if (pkt.aeth->syndrome == kAethAck) {
     if (qp->rc_tx.window.empty()) {
@@ -784,7 +798,7 @@ void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
       retire_.ack->inc();
       return;
     }
-    if (!psn_lt(psn, qp->next_psn)) {
+    if (rc_config_.validate_control && !psn_lt(psn, qp->next_psn)) {
       // Acknowledges PSNs never sent — forged or corrupted; never lets an
       // attacker clear a window they didn't earn.
       ++counters_.rc_bad_control;
@@ -793,11 +807,11 @@ void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
     }
     ++counters_.acks_received;
     retire_.ack->inc();
-    rc_ack_through(*qp, psn, /*inclusive=*/true);
+    note_spoof(pkt, rc_ack_through(*qp, psn, /*inclusive=*/true));
     return;
   }
   if (pkt.aeth->syndrome == kAethNakPsnSequence) {
-    if (!psn_le(psn, qp->next_psn)) {
+    if (rc_config_.validate_control && !psn_le(psn, qp->next_psn)) {
       ++counters_.rc_bad_control;
       retire_.rc_bad_control->inc();
       return;
@@ -807,7 +821,7 @@ void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
     // AETH.msn names the receiver's expected PSN: everything below it is
     // implicitly acknowledged, everything at/after it goes out again now.
     if (!qp->rc_tx.window.empty()) {
-      rc_ack_through(*qp, psn, /*inclusive=*/false);
+      note_spoof(pkt, rc_ack_through(*qp, psn, /*inclusive=*/false));
       if (!qp->rc_tx.window.empty()) {
         rc_retransmit(*qp, psn);
         arm_rc_timer(*qp);
@@ -819,8 +833,9 @@ void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
   retire_.rc_bad_control->inc();
 }
 
-void ChannelAdapter::rc_ack_through(QueuePair& qp, ib::Psn psn,
-                                    bool inclusive) {
+std::size_t ChannelAdapter::rc_ack_through(QueuePair& qp, ib::Psn psn,
+                                           bool inclusive) {
+  std::size_t retired = 0;
   bool progressed = false;
   auto it = qp.rc_tx.window.begin();
   while (it != qp.rc_tx.window.end()) {
@@ -842,9 +857,11 @@ void ChannelAdapter::rc_ack_through(QueuePair& qp, ib::Psn psn,
       }
     }
     it = qp.rc_tx.window.erase(it);
+    ++retired;
     progressed = true;
   }
   if (progressed) rc_on_progress(qp);
+  return retired;
 }
 
 void ChannelAdapter::rc_on_progress(QueuePair& qp) {

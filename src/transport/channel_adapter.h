@@ -214,6 +214,11 @@ class ChannelAdapter {
     std::uint64_t rc_retransmits = 0;
     std::uint64_t rc_retry_exhausted = 0;
     std::uint64_t rc_bad_control = 0;
+    /// Attack-tagged RC control packets that passed validation AND cleared
+    /// send-window entries they never earned — the rc-spoof campaign's
+    /// success metric. Stays 0 with validate_control on unless a spoofed
+    /// PSN lands inside the live window (~window/2^24 per attempt).
+    std::uint64_t rc_spoofed_accepted = 0;
     std::uint64_t messages_delivered = 0;
     std::uint64_t reassembly_errors = 0;
     std::uint64_t reconfigs_applied = 0;
@@ -241,7 +246,10 @@ class ChannelAdapter {
   void rc_retransmit(QueuePair& qp, ib::Psn from_psn);
   void rc_fail(QueuePair& qp);
   void handle_rc_ack(const ib::Packet& pkt);
-  void rc_ack_through(QueuePair& qp, ib::Psn psn, bool inclusive);
+  /// Returns how many window entries the cumulative (N)ACK retired — the
+  /// spoof-accounting in handle_rc_ack needs to know whether a forged
+  /// control packet actually cleared anything.
+  std::size_t rc_ack_through(QueuePair& qp, ib::Psn psn, bool inclusive);
   void rc_on_progress(QueuePair& qp);
   void rc_on_read_response(const ib::Packet& pkt);
   // RC reliability: receiver side.
@@ -341,6 +349,10 @@ class ChannelAdapter {
   /// invariant suite: QueuePair::dropped_bad_qkey used to be invisible to
   /// --metrics).
   std::map<ib::Qpn, obs::Counter*> qkey_drop_obs_;
+  /// Lazily-resolved "ca.<n>.rc.spoofed_control_accepted": only runs that
+  /// actually see an accepted spoofed control packet grow a snapshot entry,
+  /// keeping golden export hashes of attack-free runs untouched.
+  obs::Counter* rc_spoofed_obs_ = nullptr;
 };
 
 }  // namespace ibsec::transport

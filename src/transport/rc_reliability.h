@@ -44,6 +44,15 @@ inline constexpr std::uint8_t kAethNakPsnSequence = 0x60;
 struct RcConfig {
   bool enabled = false;
 
+  /// Fail-closed ACK/NAK validation (on by default): a cumulative ACK must
+  /// name a PSN that was actually sent (psn < next_psn) and a NAK must name
+  /// one at or below next_psn, else the packet is dropped and counted as
+  /// rc_bad_control. Disabling this is the ablation the adversarial
+  /// rc-spoof campaign measures: a forged ACK with a random "future" PSN
+  /// then flushes the whole send window about half the time, instead of
+  /// having to land inside the live window (~window/2^24 per attempt).
+  bool validate_control = true;
+
   /// Base transport timeout before the unacked window is retransmitted.
   /// Must exceed the fabric RTT including queuing; spurious retransmits are
   /// safe (the receiver re-ACKs duplicates) but waste bandwidth.

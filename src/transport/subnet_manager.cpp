@@ -113,12 +113,49 @@ void SubnetManager::distribute_partition_secret(ib::PKeyValue pkey,
   }
 }
 
+bool SubnetManager::pkey_legal_for(int node, ib::PKeyValue pkey) const {
+  if (ib::pkeys_match(pkey, ib::kDefaultPKey)) return true;
+  for (const auto& [part_pkey, members] : partitions_) {
+    if (!ib::pkeys_match(pkey, part_pkey)) continue;
+    for (int member : members) {
+      if (member == node) return true;
+    }
+  }
+  return false;
+}
+
 bool SubnetManager::handle_mad(const Mad& mad) {
   if (mad.type != MadType::kTrapPKeyViolation) return false;
   ++traps_received_;
   obs_traps_->inc();
   const int offender = fabric_.node_of_lid(static_cast<ib::Lid>(mad.value));
   if (offender < 0 || offender >= fabric_.node_count()) return true;
+  // A trap reporting a P_Key the claimed offender legitimately holds is
+  // contradictory: genuine DoS floods carry keys *outside* the sender's
+  // membership, while "filtering" a node's own key is exactly the
+  // blackholing primitive a forged trap wants. Reject (validation on) or
+  // count the poisoning (validation off — the ablation the trap-forge
+  // campaign measures).
+  if (pkey_legal_for(offender, mad.pkey)) {
+    auto& reg = fabric_.simulator().obs();
+    if (trap_validation_) {
+      ++traps_rejected_;
+      if (obs_traps_rejected_ == nullptr) {
+        obs_traps_rejected_ = &reg.counter("sm.traps_rejected");
+      }
+      obs_traps_rejected_->inc();
+      return true;
+    }
+    if (fabric_.config().filter_mode == fabric::FilterMode::kSif) {
+      // Only an actual SIF install poisons a port; other filter modes
+      // ignore traps entirely.
+      ++poisoned_installs_;
+      if (obs_poisoned_ == nullptr) {
+        obs_poisoned_ = &reg.counter("sm.sif_poisoned_installs");
+      }
+      obs_poisoned_->inc();
+    }
+  }
   arm_sif(offender, mad.pkey);
   return true;
 }

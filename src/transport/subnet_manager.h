@@ -57,12 +57,32 @@ class SubnetManager {
     distribute_partition_secret(pkey, alg);
   }
 
+  // --- trap validation --------------------------------------------------------
+  /// Plausibility check on P_Key-violation traps (on by default): a trap
+  /// whose reported P_Key is one the claimed offender *legitimately holds*
+  /// is a forgery (or would blackhole legitimate traffic, which is the same
+  /// thing from the SM's perspective) and is rejected instead of arming
+  /// SIF. This closes the trap-forge campaign's poisoning primitive: claim
+  /// victim V "offended" with V's own partition key, and an unvalidated SM
+  /// installs that key as invalid at V's ingress port.
+  void set_trap_validation(bool on) { trap_validation_ = on; }
+  bool trap_validation() const { return trap_validation_; }
+
   // --- statistics ---------------------------------------------------------------
   std::uint64_t traps_received() const { return traps_received_; }
   std::uint64_t sif_installs() const { return sif_installs_; }
+  /// Traps rejected by validation (forged or self-poisoning).
+  std::uint64_t traps_rejected() const { return traps_rejected_; }
+  /// Poisoning traps that validation was NOT armed against and that went on
+  /// to arm SIF against a legitimate key — the trap-forge success metric.
+  std::uint64_t poisoned_installs() const { return poisoned_installs_; }
 
  private:
   bool handle_mad(const Mad& mad);
+  /// True when `pkey` matches a partition the node belongs to (or the
+  /// default P_Key) — i.e. installing it as invalid would blackhole the
+  /// node's own legitimate traffic.
+  bool pkey_legal_for(int node, ib::PKeyValue pkey) const;
   void arm_sif(int offender_node, ib::PKeyValue pkey);
 
   fabric::Fabric& fabric_;
@@ -71,8 +91,11 @@ class SubnetManager {
   crypto::CtrDrbg drbg_;
   std::map<ib::PKeyValue, std::vector<int>> partitions_;
   std::map<int, ib::MKeyValue> m_keys_;
+  bool trap_validation_ = true;
   std::uint64_t traps_received_ = 0;
   std::uint64_t sif_installs_ = 0;
+  std::uint64_t traps_rejected_ = 0;
+  std::uint64_t poisoned_installs_ = 0;
   // "sm.*" registry handles; program_delay accumulates the trap-to-armed
   // SMP latency the SIF reaction time depends on.
   obs::Counter* obs_traps_ = nullptr;
@@ -80,6 +103,11 @@ class SubnetManager {
   obs::Counter* obs_partitions_ = nullptr;
   obs::Counter* obs_secrets_ = nullptr;
   obs::TimeAccumulator* obs_program_delay_ = nullptr;
+  // Lazily resolved: only runs where the validation predicate actually
+  // fires grow "sm.traps_rejected" / "sm.sif_poisoned_installs" snapshot
+  // entries (no existing scenario triggers it, keeping goldens intact).
+  obs::Counter* obs_traps_rejected_ = nullptr;
+  obs::Counter* obs_poisoned_ = nullptr;
 };
 
 }  // namespace ibsec::transport

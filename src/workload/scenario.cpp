@@ -40,7 +40,7 @@ void Scenario::build() {
         *fabric_, node, pki_, config_.seed, config_.rsa_bits));
     cas_.back()->set_rc_config(config_.rc);
     cas_.back()->set_delivery_probe(
-        [this](const ib::Packet& pkt) { metrics_.record(pkt); });
+        [this, node](const ib::Packet& pkt) { probe_delivery(node, pkt); });
   }
 
   std::vector<transport::ChannelAdapter*> ca_ptrs;
@@ -48,6 +48,7 @@ void Scenario::build() {
   sm_ = std::make_unique<transport::SubnetManager>(*fabric_, ca_ptrs,
                                                    /*sm_node=*/0,
                                                    config_.seed);
+  sm_->set_trap_validation(config_.sm_trap_validation);
   sm_->assign_m_keys();
 
   build_partitions(rng);
@@ -56,6 +57,7 @@ void Scenario::build() {
   // Pick attackers before wiring traffic so honest-node sources skip them.
   build_attackers(rng);
   build_traffic(rng);
+  build_campaigns();
 
   metrics_.set_warmup(config_.warmup);
 }
@@ -246,12 +248,31 @@ void Scenario::build_traffic(Rng& rng) {
               .qpn;
       ca(a).bind_rc(qa, b, qb);
       ca(b).bind_rc(qb, a, qa);
+      rc_stream_nodes_.push_back(a);
+      rc_stream_nodes_.push_back(b);
       rc_sources_.push_back(std::make_unique<RcMessageSource>(
           ca(a), qa, rng.split(), config_.rc_load, config_.rc_message_bytes));
       rc_sources_.push_back(std::make_unique<RcMessageSource>(
           ca(b), qb, rng.split(), config_.rc_load, config_.rc_message_bytes));
     }
   }
+}
+
+void Scenario::build_campaigns() {
+  if (!config_.attack.enabled()) return;
+  AttackContext ctx;
+  ctx.fabric = fabric_.get();
+  for (auto& ca_ptr : cas_) ctx.cas.push_back(ca_ptr.get());
+  ctx.sm = sm_.get();
+  ctx.sm_node = sm_->sm_node();
+  ctx.node_partition = node_partition_;
+  for (int p = 0; p < std::max(1, config_.num_partitions); ++p) {
+    ctx.partition_pkeys.push_back(pkey_of_partition(p));
+  }
+  ctx.ud_qp_of_node = ud_qp_of_node_;
+  ctx.attacker_nodes = attacker_nodes_;
+  ctx.rc_stream_nodes = rc_stream_nodes_;
+  campaigns_ = std::make_unique<AttackCampaignSet>(config_.attack, ctx);
 }
 
 void Scenario::timeseries_tick() {
@@ -290,12 +311,20 @@ ScenarioResult Scenario::run() {
     attacker->start(sim.now() +
                     static_cast<SimTime>(stagger.uniform(1'000'000)));
   }
+  // Campaign staggering draws come last, so configs without campaigns see
+  // the exact draw sequence they always did (golden exports stay valid).
+  if (campaigns_) campaigns_->start(sim.now(), stagger);
 
   sim.run_until(sim.now() + config_.warmup + config_.duration);
 
   for (auto& src : sources_) src->stop();
   for (auto& src : rc_sources_) src->stop();
   for (auto& attacker : attackers_) attacker->stop();
+  if (campaigns_) {
+    campaigns_->stop();
+    // Resolve counter-delta success metrics before the snapshot freezes.
+    campaigns_->finish();
+  }
 
   ScenarioResult result;
   result.realtime = metrics_.realtime();
@@ -333,6 +362,12 @@ ScenarioResult Scenario::run() {
   export_class("workload.realtime.", result.realtime);
   export_class("workload.best_effort.", result.best_effort);
   result.obs = reg.snapshot();
+  result.attack_attempts = static_cast<std::uint64_t>(
+      result.obs.sum_matching("attacker.*.attempts"));
+  result.attack_successes = static_cast<std::uint64_t>(
+      result.obs.sum_matching("attacker.*.success"));
+  result.qkey_drops = static_cast<std::uint64_t>(
+      result.obs.sum_matching("ca.*.dropped_bad_qkey"));
   if (timeseries_) {
     // Closing bucket, unless the last scheduled tick already landed exactly
     // at end-of-run (run_until executes events at t == end).

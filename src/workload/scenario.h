@@ -16,6 +16,7 @@
 #include "security/partition_key_manager.h"
 #include "security/qp_key_manager.h"
 #include "transport/subnet_manager.h"
+#include "workload/attack_campaign.h"
 #include "workload/attacker.h"
 #include "workload/metrics.h"
 #include "workload/traffic.h"
@@ -50,6 +51,13 @@ struct ScenarioConfig {
   /// Sec. 7 variant: attackers flood with their own partition's valid
   /// P_Key, making partition filtering useless.
   bool attack_with_valid_pkey = false;
+
+  /// Seeded control-plane attack campaigns (attack_campaign.h), on top of —
+  /// and independent of — the bandwidth flooders above. Empty = none.
+  AttackCampaignSpec attack;
+  /// SM plausibility check on P_Key-violation traps (the trap-forge
+  /// campaign's defense); see SubnetManager::set_trap_validation.
+  bool sm_trap_validation = true;
 
   /// RC reliability protocol knobs, applied to every CA (off by default —
   /// see transport/rc_reliability.h). Note: retransmissions replay PSNs, so
@@ -105,6 +113,13 @@ struct ScenarioResult {
   std::uint64_t forwarded = 0;
   std::uint64_t rate_limited = 0;
 
+  /// Campaign aggregates (Σ attacker.*.attempts / attacker.*.success) and
+  /// the fabric-wide per-QP Q_Key-drop total, lifted out of the snapshot so
+  /// attack outcomes read directly off the result.
+  std::uint64_t attack_attempts = 0;
+  std::uint64_t attack_successes = 0;
+  std::uint64_t qkey_drops = 0;
+
   /// Full registry snapshot at the end of the measurement window — every
   /// instrumented component ("switch.*", "link.*", "hca.*", "ca.*",
   /// "auth.*", "sm.*", "attack.*", "workload.*") in one flat map, ready for
@@ -150,6 +165,15 @@ class Scenario {
   }
   const std::vector<int>& attacker_nodes() const { return attacker_nodes_; }
   MetricsCollector& metrics() { return metrics_; }
+  /// The attack-campaign set, or nullptr when config.attack is empty.
+  AttackCampaignSet* campaigns() { return campaigns_.get(); }
+  /// The standard delivery-probe body: metrics + campaign dispatch. Callers
+  /// replacing the per-CA probe (run_experiment's packet CSV) forward here
+  /// so campaign success accounting survives the override.
+  void probe_delivery(int node, const ib::Packet& pkt) {
+    metrics_.record(pkt);
+    if (campaigns_) campaigns_->on_delivered(node, pkt);
+  }
 
  private:
   void build();
@@ -157,6 +181,7 @@ class Scenario {
   void build_security();
   void build_traffic(Rng& rng);
   void build_attackers(Rng& rng);
+  void build_campaigns();
   /// Samples one time-series bucket and reschedules itself every
   /// timeseries_dt until the measurement window ends.
   void timeseries_tick();
@@ -172,9 +197,11 @@ class Scenario {
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   std::vector<std::unique_ptr<RcMessageSource>> rc_sources_;
   std::vector<std::unique_ptr<Attacker>> attackers_;
+  std::unique_ptr<AttackCampaignSet> campaigns_;
   std::vector<int> node_partition_;      // node -> partition index
   std::vector<ib::Qpn> ud_qp_of_node_;   // node -> its workload UD QP
   std::vector<int> attacker_nodes_;
+  std::vector<int> rc_stream_nodes_;     // nodes carrying an RC stream QP
   MetricsCollector metrics_;
   std::unique_ptr<obs::TimeSeriesSampler> timeseries_;
   SimTime timeseries_end_ = 0;

@@ -8,6 +8,7 @@
 #include "ib/packet.h"
 #include "transport/channel_adapter.h"
 #include "transport/mad.h"
+#include "workload/attack_campaign.h"
 
 namespace ibsec {
 namespace {
@@ -234,6 +235,69 @@ TEST_F(RcControlFuzz, TruncatedAckWirePrefixesNeverCrash) {
   EXPECT_EQ(full->aeth->syndrome, transport::kAethAck);
   EXPECT_EQ(full->aeth->msn, 0x000123u);
 }
+
+// --- attack-spec grammar fuzz ------------------------------------------------
+// The `--attack` spec parser faces the command line: arbitrary strings must
+// never crash it, and anything it accepts must survive a canonical
+// round-trip (to_string is a fixed point of parse ∘ to_string).
+class AttackSpecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttackSpecFuzz, RandomStringsNeverCrashAndAcceptedSpecsCanonicalize) {
+  Rng rng(GetParam());
+  // Grammar-adjacent alphabet so a useful fraction of inputs reach the
+  // deeper key/value paths instead of dying at the first '='.
+  const std::string_view alphabet =
+      "0123456789;=:,.-abcdefghijklmnopqrstuvwxyz u";
+  int accepted = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string s;
+    const std::size_t len = rng.uniform(80);
+    for (std::size_t i = 0; i < len; ++i) {
+      s += alphabet[rng.uniform(alphabet.size())];
+    }
+    const auto parsed = workload::AttackCampaignSpec::parse(s);
+    if (!parsed.has_value()) continue;
+    ++accepted;
+    const std::string canon = parsed->to_string();
+    const auto reparsed = workload::AttackCampaignSpec::parse(canon);
+    ASSERT_TRUE(reparsed.has_value()) << canon;
+    EXPECT_EQ(reparsed->to_string(), canon) << "from: " << s;
+  }
+  EXPECT_GT(accepted, 0);  // at least the empty/keyless strings get through
+}
+
+TEST_P(AttackSpecFuzz, MutatedValidSpecsNeverCrash) {
+  Rng rng(GetParam() + 500);
+  const std::string base =
+      workload::AttackCampaignSpec::parse(
+          "seed=9;attack=scan:count=50,keyspace=16;"
+          "attack=rc-spoof:node=2,victim=3,interval=1.5us,qpn-range=8;"
+          "attack=side-channel:epochs=6")
+          ->to_string();
+  const std::string_view alphabet = "0123456789;=:,.-abcdefghijklmnopqrstuvwxyz";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t at = rng.uniform(mutated.size());
+      if (rng.uniform(4) == 0) {
+        mutated.erase(at, 1);  // deletions hit the structural separators
+        if (mutated.empty()) break;
+      } else {
+        mutated[at] = alphabet[rng.uniform(alphabet.size())];
+      }
+    }
+    const auto parsed = workload::AttackCampaignSpec::parse(mutated);
+    if (parsed.has_value()) {
+      const auto reparsed =
+          workload::AttackCampaignSpec::parse(parsed->to_string());
+      ASSERT_TRUE(reparsed.has_value()) << mutated;
+      EXPECT_EQ(reparsed->to_string(), parsed->to_string()) << mutated;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackSpecFuzz, ::testing::Values(21, 22, 23));
 
 TEST(PacketFuzzMisc, ParseSerializeIdempotence) {
   Rng rng(42);
