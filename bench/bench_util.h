@@ -83,12 +83,37 @@ inline void print_testbed_banner(const fabric::FabricConfig& cfg) {
   std::printf("Testbed (paper Table 1):\n");
   std::printf("  Physical link bandwidth : %.1f Gbps\n",
               static_cast<double>(cfg.link.bandwidth_bps) / 1e9);
-  std::printf("  Switch ports            : 5\n");
   std::printf("  VLs per physical link   : %d\n", cfg.link.num_vls);
   std::printf("  MTU                     : %zu bytes\n", cfg.mtu_bytes);
-  std::printf("  Topology                : %dx%d mesh, %d nodes\n",
-              cfg.mesh_width, cfg.mesh_height, cfg.node_count());
+  std::printf("  Topology                : %s\n",
+              cfg.topology.describe(cfg.mesh_width, cfg.mesh_height).c_str());
   std::printf("\n");
+}
+
+/// Parses an optional `--topology SPEC` flag from a bench's argv (the only
+/// flag the figure benches take — they are otherwise fixed reproductions).
+/// Returns false (after printing a diagnostic) on a malformed spec or an
+/// unknown argument; an absent flag leaves `out` untouched (mesh default).
+inline bool parse_topology_arg(int argc, char** argv,
+                               fabric::TopologySpec& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--topology" && i + 1 < argc) {
+      const auto spec = fabric::TopologySpec::parse(argv[++i]);
+      if (!spec) {
+        std::fprintf(stderr, "bad --topology spec: %s\n", argv[i]);
+        return false;
+      }
+      out = *spec;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s (benches accept only "
+                   "--topology SPEC)\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Writes a registry snapshot to `path` as JSON (".json" suffix) or CSV

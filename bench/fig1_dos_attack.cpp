@@ -20,9 +20,12 @@ using workload::ScenarioConfig;
 
 namespace {
 
+fabric::TopologySpec g_topology;  // set once from --topology before the sweep
+
 ScenarioConfig base_config() {
   ScenarioConfig cfg;
   cfg.seed = 2005;
+  cfg.fabric.topology = g_topology;
   cfg.duration = 4 * time_literals::kMillisecond;
   cfg.warmup = 200 * time_literals::kMicrosecond;
   cfg.fabric.link.buffer_bytes_per_vl = 2176;  // 2 MTU packets deep
@@ -31,7 +34,8 @@ ScenarioConfig base_config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::parse_topology_arg(argc, argv, g_topology)) return 2;
   std::printf("=== Figure 1: average queuing time & network latency vs. "
               "number of attackers ===\n\n");
   bench::print_testbed_banner(base_config().fabric);

@@ -16,9 +16,16 @@
 using namespace ibsec;
 using workload::ScenarioConfig;
 
-int main() {
+int main(int argc, char** argv) {
+  fabric::TopologySpec topology;
+  if (!bench::parse_topology_arg(argc, argv, topology)) return 2;
   std::printf("=== Saturation curve: offered load vs accepted throughput "
               "(uniform-random intra-partition traffic) ===\n\n");
+  {
+    fabric::FabricConfig banner;
+    banner.topology = topology;
+    bench::print_testbed_banner(banner);
+  }
 
   const std::vector<double> offered = {0.1, 0.2, 0.3, 0.4, 0.5,
                                        0.6, 0.7, 0.8, 0.9};
@@ -26,6 +33,7 @@ int main() {
   for (double load : offered) {
     ScenarioConfig cfg;
     cfg.seed = 1212;
+    cfg.fabric.topology = topology;
     cfg.duration = 5 * time_literals::kMillisecond;
     cfg.warmup = 200 * time_literals::kMicrosecond;
     cfg.enable_realtime = false;

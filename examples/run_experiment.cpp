@@ -25,6 +25,14 @@ void usage(const char* prog) {
   std::printf(
       "usage: %s [options]\n"
       "  --seed N             RNG seed (default 1)\n"
+      "  --topology SPEC      mesh[:WxH] | fattree:k=K |\n"
+      "                       dragonfly:a=A,p=P,h=H[,g=G][,routing=minimal|\n"
+      "                       valiant]; all accept ',seed=N' for ECMP hashing\n"
+      "                       (default mesh 4x4)\n"
+      "  --workload SPEC      MPI-style collective over the honest nodes:\n"
+      "                       alltoall | allreduce:algo=ring|rd |\n"
+      "                       incast[:target=R]; all accept ',bytes=B',\n"
+      "                       ',rounds=R', ',interval_us=T' (default none)\n"
       "  --duration-ms N      measured duration (default 5)\n"
       "  --load F             best-effort injection fraction (default 0.4)\n"
       "  --realtime F         realtime CBR fraction, 0 disables (default 0)\n"
@@ -103,6 +111,22 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--seed") {
       cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--topology") {
+      const char* spec = next();
+      const auto topo = fabric::TopologySpec::parse(spec);
+      if (!topo) {
+        std::fprintf(stderr, "bad --topology spec: %s\n", spec);
+        return 2;
+      }
+      cfg.fabric.topology = *topo;
+    } else if (arg == "--workload") {
+      const char* spec = next();
+      const auto w = workload::WorkloadSpec::parse(spec);
+      if (!w) {
+        std::fprintf(stderr, "bad --workload spec: %s\n", spec);
+        return 2;
+      }
+      cfg.workload = *w;
     } else if (arg == "--duration-ms" && parse_double(next(), value)) {
       cfg.duration = static_cast<SimTime>(value * 1e9);
     } else if (arg == "--load" && parse_double(next(), value)) {
@@ -226,6 +250,9 @@ int main(int argc, char** argv) {
                 cfg.sm_trap_validation ? "on" : "off",
                 cfg.rc.validate_control ? "on" : "off");
   }
+  if (cfg.workload.enabled()) {
+    std::printf("workload: %s\n", cfg.workload.to_string().c_str());
+  }
   if (cfg.enable_rc_messages) {
     std::printf("rc: load=%.2f timeout=%lld us retries=%d window=%zu\n",
                 cfg.rc_load,
@@ -306,6 +333,14 @@ int main(int argc, char** argv) {
   std::printf("delivered         %llu (auth rejected %llu)\n",
               static_cast<unsigned long long>(r.delivered),
               static_cast<unsigned long long>(r.auth_rejected));
+  if (auto* coll = scenario.collective()) {
+    std::printf("collective        posted %llu  delivered %zu  "
+                "mismatches %llu (ranks %d)\n",
+                static_cast<unsigned long long>(coll->posted()),
+                coll->delivered().size(),
+                static_cast<unsigned long long>(coll->payload_mismatches()),
+                coll->ranks());
+  }
   if (cfg.fabric.fault_campaign.enabled() || cfg.enable_rc_messages) {
     const auto sum = [&r](const char* pattern) {
       return static_cast<unsigned long long>(r.obs.sum_matching(pattern));

@@ -8,6 +8,7 @@
 
 #include "common/time.h"
 #include "fabric/fault.h"
+#include "fabric/topology_spec.h"
 #include "fabric/vl_arbiter.h"
 #include "ib/types.h"
 
@@ -47,6 +48,12 @@ struct LinkParams {
 struct FabricConfig {
   LinkParams link;
 
+  /// Which topology the fabric builds (see topology_builder.h). Defaults to
+  /// the paper's mesh; fat-tree/dragonfly shape parameters live inside the
+  /// spec, mesh dimensions in mesh_width/mesh_height below (kept as direct
+  /// fields for compatibility with everything that sizes the mesh).
+  TopologySpec topology;
+
   int mesh_width = 4;
   int mesh_height = 4;
 
@@ -85,7 +92,9 @@ struct FabricConfig {
     return time_literals::kSecond / switch_clock_hz;
   }
 
-  int node_count() const { return mesh_width * mesh_height; }
+  int node_count() const {
+    return topology.node_count(mesh_width, mesh_height);
+  }
 };
 
 /// VL assignment used throughout the fabric (paper: separate VLs isolate

@@ -2,12 +2,9 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace ibsec::fabric {
-namespace {
-constexpr int kHcaPort = 0;
-constexpr int kEast = 1, kWest = 2, kNorth = 3, kSouth = 4;
-constexpr int kSwitchPorts = 5;
-}  // namespace
 
 Fabric::Fabric(const FabricConfig& config) : config_(config) {
   // The campaign's default profile seeds every link at construction time;
@@ -21,38 +18,48 @@ Fabric::Fabric(const FabricConfig& config) : config_(config) {
 }
 
 void Fabric::build() {
-  const int n = config_.node_count();
-  switches_.reserve(static_cast<std::size_t>(n));
+  blueprint_ = build_topology(config_);
+  const int n = blueprint_.num_nodes;
+  IBSEC_CHECK(n == config_.node_count())
+      << "blueprint hosts " << n << " vs config " << config_.node_count();
+
+  switches_.reserve(static_cast<std::size_t>(blueprint_.num_switches));
+  for (int i = 0; i < blueprint_.num_switches; ++i) {
+    switches_.push_back(
+        std::make_unique<Switch>(sim_, config_, i, blueprint_.switch_radix));
+  }
   hcas_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    switches_.push_back(
-        std::make_unique<Switch>(sim_, config_, i, kSwitchPorts));
     hcas_.push_back(std::make_unique<Hca>(sim_, config_, i));
   }
 
-  // HCA <-> switch links; switch port 0 is the ingress port.
+  // HCA <-> ingress-switch links, per the blueprint's attach contract.
   for (int i = 0; i < n; ++i) {
+    const TopologyBlueprint::Attach& at =
+        blueprint_.attach[static_cast<std::size_t>(i)];
     Hca& hca = *hcas_[static_cast<std::size_t>(i)];
-    Switch& sw = *switches_[static_cast<std::size_t>(i)];
-    hca.out().connect(&sw, kHcaPort);
-    sw.set_upstream(kHcaPort, &hca.out());
-    sw.out(kHcaPort).connect(&hca, 0);
-    hca.set_upstream(&sw.out(kHcaPort));
-    sw.set_ingress_port(kHcaPort, true);
+    Switch& sw = *switches_[static_cast<std::size_t>(at.switch_id)];
+    hca.out().connect(&sw, at.port);
+    sw.set_upstream(at.port, &hca.out());
+    sw.out(at.port).connect(&hca, 0);
+    hca.set_upstream(&sw.out(at.port));
+    sw.set_ingress_port(at.port, true);
   }
 
-  // Mesh links.
-  const int w = config_.mesh_width;
-  const int h = config_.mesh_height;
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const int s = y * w + x;
-      if (x + 1 < w) connect_switches(s, kEast, s + 1, kWest);
-      if (y + 1 < h) connect_switches(s, kNorth, s + w, kSouth);
+  // Switch-to-switch cables, wired bidirectionally in blueprint order.
+  for (const TopologyBlueprint::Link& link : blueprint_.links) {
+    connect_switches(link.a, link.port_a, link.b, link.port_b);
+  }
+
+  // Destination routing tables (all ECMP/Valiant choice already resolved).
+  for (int s = 0; s < blueprint_.num_switches; ++s) {
+    Switch& sw = *switches_[static_cast<std::size_t>(s)];
+    const std::vector<int>& ports =
+        blueprint_.routes[static_cast<std::size_t>(s)];
+    for (int d = 0; d < n; ++d) {
+      sw.set_route(lid_of_node(d), ports[static_cast<std::size_t>(d)]);
     }
   }
-
-  build_routes();
 }
 
 void Fabric::connect_switches(int a, int port_a, int b, int port_b) {
@@ -62,35 +69,6 @@ void Fabric::connect_switches(int a, int port_a, int b, int port_b) {
   sb.set_upstream(port_b, &sa.out(port_a));
   sb.out(port_b).connect(&sa, port_a);
   sa.set_upstream(port_a, &sb.out(port_b));
-}
-
-void Fabric::build_routes() {
-  // Deterministic deadlock-free XY routing: correct x first, then y, then
-  // deliver to the local HCA.
-  const int w = config_.mesh_width;
-  const int n = config_.node_count();
-  for (int s = 0; s < n; ++s) {
-    const int sx = s % w;
-    const int sy = s / w;
-    Switch& sw = *switches_[static_cast<std::size_t>(s)];
-    for (int d = 0; d < n; ++d) {
-      const int dx = d % w;
-      const int dy = d / w;
-      int port;
-      if (dx > sx) {
-        port = kEast;
-      } else if (dx < sx) {
-        port = kWest;
-      } else if (dy > sy) {
-        port = kNorth;
-      } else if (dy < sy) {
-        port = kSouth;
-      } else {
-        port = kHcaPort;
-      }
-      sw.set_route(lid_of_node(d), port);
-    }
-  }
 }
 
 void Fabric::apply_fault_campaign() {

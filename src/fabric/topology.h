@@ -1,12 +1,17 @@
-// Topology construction: the paper's 16-node mesh of 5-port switches, one
-// HCA per switch, dimension-order (XY) routing.
+// Fabric construction: instantiates whatever TopologyBlueprint the
+// configured TopologySpec generates (mesh / fat-tree / dragonfly) — one
+// Switch per blueprint switch, one HCA per node, cables and destination
+// routing tables exactly as the builder laid them out.
 //
-// Port convention on every switch:
+// Mesh port convention (the default topology, unchanged from the original
+// single-topology code):
 //   0 = attached HCA (the ingress port for IF/SIF)
 //   1 = +x (east), 2 = -x (west), 3 = +y (north), 4 = -y (south)
 //
-// Node n sits at mesh coordinate (n % width, n / width); its port LID is
-// n + 1 (LID 0 is reserved).
+// Node n's port LID is n + 1 (LID 0 is reserved) on every topology. The
+// node<->switch relationship is topology-specific: consumers must go
+// through ingress_switch_of()/ingress_port_of() (the builder contract)
+// rather than assume switch i serves node i.
 #pragma once
 
 #include <memory>
@@ -14,6 +19,7 @@
 
 #include "fabric/hca.h"
 #include "fabric/switch.h"
+#include "fabric/topology_builder.h"
 #include "sim/simulator.h"
 
 namespace ibsec::fabric {
@@ -29,14 +35,24 @@ class Fabric {
   const FabricConfig& config() const { return config_; }
 
   int node_count() const { return config_.node_count(); }
+  /// Switches in the fabric — NOT node_count() in general (a fat-tree has
+  /// more switches than hosts share edge switches).
+  int switch_count() const { return static_cast<int>(switches_.size()); }
   Hca& hca(int node) { return *hcas_.at(static_cast<std::size_t>(node)); }
   Switch& switch_at(int index) {
     return *switches_.at(static_cast<std::size_t>(index));
   }
-  /// The switch a node's HCA plugs into (1:1 in this topology).
-  Switch& ingress_switch_of(int node) { return switch_at(node); }
-  /// The port on the ingress switch facing the node's HCA (always 0 here).
-  int ingress_port_of(int /*node*/) const { return 0; }
+  /// The switch a node's HCA plugs into (per the topology blueprint).
+  Switch& ingress_switch_of(int node) {
+    return switch_at(
+        blueprint_.attach.at(static_cast<std::size_t>(node)).switch_id);
+  }
+  /// The port on the ingress switch facing the node's HCA.
+  int ingress_port_of(int node) const {
+    return blueprint_.attach.at(static_cast<std::size_t>(node)).port;
+  }
+  /// The topology the fabric was built from (tests walk its route tables).
+  const TopologyBlueprint& blueprint() const { return blueprint_; }
 
   ib::Lid lid_of_node(int node) const {
     return static_cast<ib::Lid>(node + 1);
@@ -53,18 +69,18 @@ class Fabric {
   /// Finds an OutputPort by name ("hca3.out", "sw5.out1"); null if absent.
   OutputPort* find_output_port(const std::string& name);
   /// Highest transmit-side utilization over every switch output port
-  /// (mesh links and switch->HCA links), at the current simulated time.
+  /// (fabric links and switch->HCA links), at the current simulated time.
   double max_link_utilization();
 
  private:
   void build();
   void connect_switches(int a, int port_a, int b, int port_b);
-  void build_routes();
   /// Applies config_.fault_campaign's per-link overrides and dead switches
   /// to the constructed topology.
   void apply_fault_campaign();
 
   FabricConfig config_;
+  TopologyBlueprint blueprint_;
   sim::Simulator sim_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Hca>> hcas_;

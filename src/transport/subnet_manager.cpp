@@ -49,10 +49,11 @@ void SubnetManager::configure_switch_enforcement() {
 
   if (mode == fabric::FilterMode::kDpt) {
     // Every port of every switch carries the union table (n*p entries per
-    // switch — Table 2's memory blow-up).
+    // switch — Table 2's memory blow-up). Iterate the real switch count:
+    // off-mesh topologies have more switches than nodes.
     ib::PartitionTable union_table;
     for (ib::PKeyValue pkey : all_pkeys()) union_table.add(pkey);
-    for (int s = 0; s < n; ++s) {
+    for (int s = 0; s < fabric_.switch_count(); ++s) {
       fabric::Switch& sw = fabric_.switch_at(s);
       for (int p = 0; p < sw.num_ports(); ++p) {
         sw.filter().set_port_partition_table(p, union_table);

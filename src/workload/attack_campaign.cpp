@@ -535,8 +535,16 @@ class SideChannelCampaign final : public AttackCampaign {
 
   void start(SimTime at) override {
     const auto& cfg = ctx_.fabric->config();
-    const int w = cfg.mesh_width;
-    const int h = cfg.mesh_height;
+    // The timing channel is built on XY-mesh row geometry (shared eastbound
+    // row links); it does not generalize to fat-tree/dragonfly route tables.
+    IBSEC_CHECK(cfg.topology.kind == fabric::TopologyKind::kMesh)
+        << "side-channel campaign needs a mesh topology, got "
+        << cfg.topology.to_string();
+    // Effective dims: a "mesh:WxH" spec overrides the legacy config fields.
+    const int w = cfg.topology.mesh_width > 0 ? cfg.topology.mesh_width
+                                              : cfg.mesh_width;
+    const int h = cfg.topology.mesh_height > 0 ? cfg.topology.mesh_height
+                                               : cfg.mesh_height;
     IBSEC_CHECK(w >= 3 && h >= 2) << "side-channel campaign needs a mesh";
 
     // Victim: any honest node that is not at the east end of its row (its

@@ -58,12 +58,41 @@ void Scenario::build() {
   build_attackers(rng);
   build_traffic(rng);
   build_campaigns();
+  // Last, so the collective QPs (and their obs counters) only exist for
+  // configs that opted in — default golden exports stay untouched.
+  build_collective();
 
   metrics_.set_warmup(config_.warmup);
 }
 
 void Scenario::build_partitions(Rng& rng) {
   const int n = fabric_->node_count();
+
+  if (config_.multi_tenant) {
+    // Multi-tenant layout: partition p holds the ring pair {p mod n,
+    // (p+1) mod n}. With thousands of partitions every node carries
+    // ~2*parts/n memberships, blowing up exactly the key-manager and
+    // ingress-filter tables the spec says to stress. No shuffle draws:
+    // the layout is a pure function of (n, parts).
+    const int parts = std::max(1, config_.num_partitions);
+    IBSEC_CHECK(parts >= n)
+        << "multi_tenant needs num_partitions >= nodes (" << parts << " < "
+        << n << ")";
+    node_partition_.assign(static_cast<std::size_t>(n), 0);
+    for (int node = 0; node < n; ++node) {
+      // Primary partition `node` always contains the node itself.
+      node_partition_[static_cast<std::size_t>(node)] = node;
+    }
+    for (int p = 0; p < parts; ++p) {
+      std::vector<int> members;
+      members.push_back(p % n);
+      if (n > 1) members.push_back((p + 1) % n);
+      sm_->create_partition(pkey_of_partition(p), members);
+    }
+    sm_->configure_switch_enforcement();
+    return;
+  }
+
   // "We partition the IBA network into four random groups" (sec. 3.1).
   std::vector<int> nodes(static_cast<std::size_t>(n));
   std::iota(nodes.begin(), nodes.end(), 0);
@@ -182,17 +211,26 @@ void Scenario::build_traffic(Rng& rng) {
   const std::set<int> attackers(attacker_nodes_.begin(),
                                 attacker_nodes_.end());
 
+  // Whether `b` accepts packets sent on `a`'s workload QP (i.e. b is a
+  // member of a's primary partition). Default layout: equal primaries.
+  // Multi-tenant layout: a's primary partition `a` holds {a, (a+1) mod n},
+  // so each node's one legal peer is its ring successor.
+  const auto shares_partition = [this, n](int a, int b) {
+    if (!config_.multi_tenant) {
+      return node_partition_[static_cast<std::size_t>(a)] ==
+             node_partition_[static_cast<std::size_t>(b)];
+    }
+    return (a + 1) % n == b;
+  };
+
   for (int node = 0; node < n; ++node) {
     if (attackers.count(node)) continue;  // compromised nodes send no legit load
 
-    // Peers: same-partition nodes (excluding self and attackers).
+    // Peers: co-tenant nodes (excluding self and attackers).
     std::vector<TrafficSource::Peer> peers;
     for (int other = 0; other < n; ++other) {
       if (other == node || attackers.count(other)) continue;
-      if (node_partition_[static_cast<std::size_t>(other)] !=
-          node_partition_[static_cast<std::size_t>(node)]) {
-        continue;
-      }
+      if (!shares_partition(node, other)) continue;
       TrafficSource::Peer peer;
       peer.node = other;
       peer.qp = ud_qp_of_node_[static_cast<std::size_t>(other)];
@@ -275,6 +313,20 @@ void Scenario::build_campaigns() {
   campaigns_ = std::make_unique<AttackCampaignSet>(config_.attack, ctx);
 }
 
+void Scenario::build_collective() {
+  if (!config_.workload.enabled()) return;
+  // Ranks are the honest nodes, in node order — the deterministic
+  // rank->node mapping the schedule oracle in the tests relies on.
+  const std::set<int> attackers(attacker_nodes_.begin(),
+                                attacker_nodes_.end());
+  std::vector<transport::ChannelAdapter*> ranks;
+  for (int node = 0; node < fabric_->node_count(); ++node) {
+    if (!attackers.count(node)) ranks.push_back(cas_[static_cast<std::size_t>(node)].get());
+  }
+  collective_ = std::make_unique<CollectiveWorkload>(config_.workload,
+                                                     std::move(ranks));
+}
+
 void Scenario::timeseries_tick() {
   auto& sim = fabric_->simulator();
   timeseries_->sample(sim.now());
@@ -314,6 +366,9 @@ ScenarioResult Scenario::run() {
   // Campaign staggering draws come last, so configs without campaigns see
   // the exact draw sequence they always did (golden exports stay valid).
   if (campaigns_) campaigns_->start(sim.now(), stagger);
+  // The collective schedule is fully deterministic (no stagger draws):
+  // step 0 posts when warmup ends, steps then pace by spec.step_interval.
+  if (collective_) collective_->start(sim.now() + config_.warmup);
 
   sim.run_until(sim.now() + config_.warmup + config_.duration);
 

@@ -18,6 +18,7 @@
 #include "transport/subnet_manager.h"
 #include "workload/attack_campaign.h"
 #include "workload/attacker.h"
+#include "workload/collective.h"
 #include "workload/metrics.h"
 #include "workload/traffic.h"
 
@@ -34,6 +35,13 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
 
   int num_partitions = 4;
+  /// Multi-tenant partition layout: instead of the paper's 4 shuffled
+  /// groups, partition p holds nodes {p mod n, (p+1) mod n}, so thousands
+  /// of partitions stress the key-manager and SIF/IF table paths (each node
+  /// ends up in ~2*num_partitions/n partitions). Requires
+  /// num_partitions >= node count; traffic peers become the nodes sharing
+  /// a partition (the ring neighbors).
+  bool multi_tenant = false;
 
   bool enable_realtime = true;
   double realtime_rate = 0.10;  ///< fraction of link bandwidth per node
@@ -58,6 +66,11 @@ struct ScenarioConfig {
   /// SM plausibility check on P_Key-violation traps (the trap-forge
   /// campaign's defense); see SubnetManager::set_trap_validation.
   bool sm_trap_validation = true;
+
+  /// MPI-style collective workload (collective.h) over the honest nodes,
+  /// on top of the paper's realtime/best-effort sources. Disabled by
+  /// default; starts at the end of warmup.
+  WorkloadSpec workload;
 
   /// RC reliability protocol knobs, applied to every CA (off by default —
   /// see transport/rc_reliability.h). Note: retransmissions replay PSNs, so
@@ -167,12 +180,15 @@ class Scenario {
   MetricsCollector& metrics() { return metrics_; }
   /// The attack-campaign set, or nullptr when config.attack is empty.
   AttackCampaignSet* campaigns() { return campaigns_.get(); }
+  /// The collective workload, or nullptr when config.workload is empty.
+  CollectiveWorkload* collective() { return collective_.get(); }
   /// The standard delivery-probe body: metrics + campaign dispatch. Callers
   /// replacing the per-CA probe (run_experiment's packet CSV) forward here
   /// so campaign success accounting survives the override.
   void probe_delivery(int node, const ib::Packet& pkt) {
     metrics_.record(pkt);
     if (campaigns_) campaigns_->on_delivered(node, pkt);
+    if (collective_) collective_->on_delivered(node, pkt);
   }
 
  private:
@@ -182,6 +198,7 @@ class Scenario {
   void build_traffic(Rng& rng);
   void build_attackers(Rng& rng);
   void build_campaigns();
+  void build_collective();
   /// Samples one time-series bucket and reschedules itself every
   /// timeseries_dt until the measurement window ends.
   void timeseries_tick();
@@ -198,6 +215,7 @@ class Scenario {
   std::vector<std::unique_ptr<RcMessageSource>> rc_sources_;
   std::vector<std::unique_ptr<Attacker>> attackers_;
   std::unique_ptr<AttackCampaignSet> campaigns_;
+  std::unique_ptr<CollectiveWorkload> collective_;
   std::vector<int> node_partition_;      // node -> partition index
   std::vector<ib::Qpn> ud_qp_of_node_;   // node -> its workload UD QP
   std::vector<int> attacker_nodes_;

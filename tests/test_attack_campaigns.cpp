@@ -228,6 +228,170 @@ TEST(AttackCorpus, ReplayRedeliversWithoutProtection) {
   EXPECT_EQ(r.obs.sum_matching("auth.fail.replay"), 0);
 }
 
+// --- the corpus off-mesh -----------------------------------------------------
+// Every campaign x defense invariant above re-asserted on a k=4 fat-tree
+// (16 hosts behind 20 switches) and a dragonfly (a=2,p=2,h=1,g=3: 12 hosts).
+// The defenses live in the endpoints and the SM, so their guarantees must
+// not depend on mesh coordinates, 1:1 node<->switch attachment, or XY route
+// shape; the undefended baselines stay within the same statistical bands
+// because success probability is a property of the keyspace, not the route.
+// (side-channel is excluded by design: its timing channel is built on
+// XY-mesh row geometry and IBSEC_CHECKs for a mesh topology.)
+
+struct OffMeshTopo {
+  const char* name;
+  const char* spec;
+  // Pinned per-topology replay-corpus bounds. Unlike scan/trap-forge/
+  // rc-spoof, replay outcomes are congestion-coupled: clones ride the
+  // best-effort VL behind honest load, so on an oversubscribed topology a
+  // tail of the 300 injections is still credit-stalled in HCA queues at sim
+  // end (fat-tree: ~273 of 300 arrive in-window), while on the dragonfly
+  // (whose one global link per router congests hard) priority-VL realtime
+  // traffic overtakes best-effort PSNs enough for the replay window to
+  // false-positive on some *honest* packets (~46 above the 300 clones).
+  std::int64_t replay_rejected_min;
+  std::int64_t replay_rejected_max;
+  std::uint64_t replay_success_min;
+};
+
+class OffMeshAttackCorpus : public ::testing::TestWithParam<OffMeshTopo> {
+ protected:
+  ScenarioConfig corpus_config(std::uint64_t seed = 1) const {
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    const auto topo = fabric::TopologySpec::parse(GetParam().spec);
+    EXPECT_TRUE(topo.has_value()) << GetParam().spec;
+    cfg.fabric.topology = topo.value_or(fabric::TopologySpec{});
+    return cfg;
+  }
+};
+
+TEST_P(OffMeshAttackCorpus, ScanSucceedsAtKeyspaceRateWithoutAuth) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.attack = attack_spec("seed=7;attack=scan:count=600,keyspace=64");
+  const ScenarioResult r = Scenario(cfg).run();
+  EXPECT_EQ(r.attack_attempts, 600u);
+  // Same E[success] = 600/64 band as the mesh run: the hit rate is set by
+  // the Q_Key space, not the path the probe takes.
+  EXPECT_GE(r.attack_successes, 2u);
+  EXPECT_LE(r.attack_successes, 40u);
+  EXPECT_EQ(r.qkey_drops, r.attack_attempts - r.attack_successes);
+}
+
+TEST_P(OffMeshAttackCorpus, ScanBlockedCompletelyByPartitionAuth) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.key_management = KeyManagement::kPartitionLevel;
+  cfg.auth_enabled = true;
+  cfg.attack = attack_spec("seed=7;attack=scan:count=600,keyspace=64");
+  const ScenarioResult r = Scenario(cfg).run();
+  EXPECT_EQ(r.attack_attempts, 600u);
+  EXPECT_EQ(r.attack_successes, 0u);
+}
+
+TEST_P(OffMeshAttackCorpus, TrapForgeRejectedByTrapValidation) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+  cfg.attack = attack_spec("seed=3;attack=trap-forge:count=50");
+  const ScenarioResult r = Scenario(cfg).run();
+  EXPECT_EQ(r.attack_attempts, 50u);
+  EXPECT_EQ(r.attack_successes, 0u);
+  EXPECT_EQ(r.obs.sum_matching("sm.traps_rejected"), 50);
+  EXPECT_EQ(r.obs.sum_matching("sm.sif_poisoned_installs"), 0);
+}
+
+TEST_P(OffMeshAttackCorpus, TrapForgeBlackholesVictimWithoutValidation) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+  cfg.attack = attack_spec("seed=3;attack=trap-forge:count=50");
+  Scenario defended(cfg);
+  cfg.sm_trap_validation = false;
+  Scenario poisoned(cfg);
+  const ScenarioResult good = defended.run();
+  const ScenarioResult bad = poisoned.run();
+  EXPECT_EQ(bad.attack_successes, 50u);
+  EXPECT_EQ(bad.obs.sum_matching("sm.sif_poisoned_installs"), 50);
+  // The poisoned SIF entry sits at the victim's real ingress port — found
+  // via the blueprint attach map, not a mesh node==switch identity — so it
+  // still blackholes the victim's honest traffic.
+  EXPECT_LT(bad.delivered, good.delivered);
+}
+
+TEST_P(OffMeshAttackCorpus, RcSpoofBoundedByControlValidation) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.rc.enabled = true;
+  cfg.enable_rc_messages = true;
+  cfg.rc_load = 0.2;
+  cfg.attack = attack_spec("seed=11;attack=rc-spoof:count=2000");
+  ASSERT_TRUE(cfg.rc.validate_control);
+  const ScenarioResult r = Scenario(cfg).run();
+  EXPECT_EQ(r.attack_attempts, 2000u);
+  EXPECT_LE(r.attack_successes, 2u);
+  EXPECT_GE(r.obs.sum_matching("ca.*.retired.rc_bad_control"), 1000);
+}
+
+TEST_P(OffMeshAttackCorpus, RcSpoofFlushesWindowsWithoutValidation) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.rc.enabled = true;
+  cfg.enable_rc_messages = true;
+  cfg.rc_load = 0.2;
+  cfg.rc.validate_control = false;
+  cfg.attack = attack_spec("seed=11;attack=rc-spoof:count=2000");
+  const ScenarioResult r = Scenario(cfg).run();
+  EXPECT_EQ(r.attack_attempts, 2000u);
+  EXPECT_GE(r.attack_successes, 10u);
+  EXPECT_GE(r.obs.sum_matching("ca.*.rc.spoofed_control_accepted"), 10);
+}
+
+TEST_P(OffMeshAttackCorpus, ReplayRejectedByReplayWindow) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.key_management = KeyManagement::kPartitionLevel;
+  cfg.auth_enabled = true;
+  cfg.replay_protection = true;
+  cfg.attack = attack_spec("seed=13;attack=replay:count=300");
+  const ScenarioResult r = Scenario(cfg).run();
+  EXPECT_EQ(r.attack_attempts, 300u);
+  // The security invariant is topology-independent: zero replays deliver.
+  EXPECT_EQ(r.attack_successes, 0u);
+  // The rejection count is congestion-coupled (see OffMeshTopo).
+  EXPECT_GE(r.obs.sum_matching("auth.fail.replay"),
+            GetParam().replay_rejected_min);
+  EXPECT_LE(r.obs.sum_matching("auth.fail.replay"),
+            GetParam().replay_rejected_max);
+}
+
+TEST_P(OffMeshAttackCorpus, ReplayRedeliversWithoutProtection) {
+  ScenarioConfig cfg = corpus_config();
+  cfg.key_management = KeyManagement::kPartitionLevel;
+  cfg.auth_enabled = true;
+  cfg.attack = attack_spec("seed=13;attack=replay:count=300");
+  const ScenarioResult r = Scenario(cfg).run();
+  EXPECT_EQ(r.attack_attempts, 300u);
+  // Replays that do arrive before sim end all re-deliver (valid MACs, no
+  // window); congestion holds back a per-topology tail (see OffMeshTopo).
+  EXPECT_GE(r.attack_successes, GetParam().replay_success_min);
+  EXPECT_EQ(r.obs.sum_matching("auth.fail.replay"), 0);
+}
+
+TEST_P(OffMeshAttackCorpus, SameSeedByteIdenticalExports) {
+  ScenarioConfig cfg = corpus_config(23);
+  cfg.fabric.filter_mode = fabric::FilterMode::kSif;
+  cfg.attack = attack_spec(
+      "seed=5;attack=scan:count=200,keyspace=32;attack=trap-forge:count=20");
+  const ScenarioResult a = Scenario(cfg).run();
+  const ScenarioResult b = Scenario(cfg).run();
+  EXPECT_EQ(a.obs.to_json(), b.obs.to_json());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, OffMeshAttackCorpus,
+    ::testing::Values(
+        // Observed: 273 rejections / 237 undefended deliveries of 300.
+        OffMeshTopo{"fattree", "fattree:k=4", 250, 300, 200},
+        // Observed: 346 rejections (300 clones + honest reorder false
+        // positives) / 153 undefended deliveries of 300.
+        OffMeshTopo{"dragonfly", "dragonfly:a=2,p=2,h=1,g=3", 300, 400, 120}),
+    [](const auto& info) { return info.param.name; });
+
 // --- side-channel: contention probe -----------------------------------------
 // A conspirator modulates an ON/OFF square wave through the victim row's
 // east egress while the attacker latency-probes the shared path. On a quiet
