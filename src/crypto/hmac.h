@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/annotations.h"
 #include "crypto/md5.h"
 #include "crypto/sha1.h"
 
@@ -43,7 +44,9 @@ class Hmac {
     inner_.update(ipad_);
   }
 
-  void update(std::span<const std::uint8_t> data) { inner_.update(data); }
+  IBSEC_HOT void update(std::span<const std::uint8_t> data) {
+    inner_.update(data);
+  }
 
   Digest finalize() {
     const Digest inner_digest = inner_.finalize();

@@ -1,6 +1,8 @@
 #include "crypto/pmac.h"
 
 #include <cstring>
+
+#include "common/annotations.h"
 #include <stdexcept>
 
 namespace ibsec::crypto {
@@ -126,7 +128,7 @@ std::uint32_t Pmac::tag32(std::span<const std::uint8_t> message,
   return whiten32(tag(message), nonce);
 }
 
-void Pmac::Stream::update(std::span<const std::uint8_t> data) {
+IBSEC_HOT void Pmac::Stream::update(std::span<const std::uint8_t> data) {
   std::size_t offset = 0;
   while (offset < data.size()) {
     if (pending_len_ == 16) {
@@ -150,7 +152,7 @@ void Pmac::Stream::update(std::span<const std::uint8_t> data) {
   }
 }
 
-Aes128::Block Pmac::Stream::final() const {
+IBSEC_HOT Aes128::Block Pmac::Stream::final() const {
   Aes128::Block sigma = sigma_;
   if (pending_len_ == 16) {
     // Final full block: Sigma ^= M_m ^ (L * x^-1).
@@ -168,7 +170,7 @@ Aes128::Block Pmac::Stream::final() const {
   return out;
 }
 
-std::uint32_t Pmac::Stream::final32(std::uint64_t nonce) const {
+IBSEC_HOT std::uint32_t Pmac::Stream::final32(std::uint64_t nonce) const {
   return parent_->whiten32(final(), nonce);
 }
 

@@ -1,5 +1,6 @@
 #include "crypto/umac.h"
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include <cstring>
 #include <stdexcept>
@@ -264,7 +265,7 @@ std::uint32_t Umac32::tag(std::span<const std::uint8_t> message,
   return pdf_xor(iter_.hash(message), nonce);
 }
 
-void Umac32::Stream::update(std::span<const std::uint8_t> data) {
+IBSEC_HOT void Umac32::Stream::update(std::span<const std::uint8_t> data) {
   const auto& iter = parent_->iter_;
   std::size_t offset = 0;
   while (offset < data.size()) {
@@ -283,7 +284,7 @@ void Umac32::Stream::update(std::span<const std::uint8_t> data) {
   total_ += data.size();
 }
 
-std::uint32_t Umac32::Stream::final(std::uint64_t nonce) const {
+IBSEC_HOT std::uint32_t Umac32::Stream::final(std::uint64_t nonce) const {
   if (total_ > kMaxMessageBytes) {
     throw std::invalid_argument("Umac32: message too long");
   }

@@ -49,6 +49,9 @@ OutputPort::OutputPort(sim::Simulator& simulator, const LinkParams& params,
   obs_vl_depth_.assign(static_cast<std::size_t>(params.num_vls), nullptr);
   arbiter_.set_obs(&reg.counter(prefix + "arb.high_grants"),
                    &reg.counter(prefix + "arb.low_grants"));
+  flap_label_ = "flap:" + name_;
+  drop_label_ = "drop:" + name_;
+  corrupt_label_ = "corrupt:" + name_;
 }
 
 void OutputPort::connect(Device* peer, int peer_port) {
@@ -56,25 +59,37 @@ void OutputPort::connect(Device* peer, int peer_port) {
   peer_port_ = peer_port;
 }
 
-void OutputPort::enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
-                         DispatchHook on_dispatch) {
+IBSEC_HOT void OutputPort::enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
+                                   DispatchHook on_dispatch) {
   IBSEC_CHECK(vl < vl_queues_.size())
       << "port " << name_ << " enqueue on unconfigured VL "
       << static_cast<int>(vl);
+  // Amortized ring growth: capacity doubles up to the VL's peak queue depth
+  // and then stays. IBSEC_DETLINT_ALLOW(hot-alloc)
   vl_queues_[vl].push_back(
       QueuedPacket{std::move(pkt), std::move(on_dispatch), sim_.now()});
   obs_queue_depth_->add(1);
   obs::Gauge*& vl_depth = obs_vl_depth_[vl];
-  if (vl_depth == nullptr) {
-    vl_depth = &sim_.obs().gauge("link." + name_ + ".vl." +
-                                 std::to_string(static_cast<int>(vl)) +
-                                 ".queue_depth");
-  }
+  if (vl_depth == nullptr) vl_depth = &vl_depth_gauge(vl);
   vl_depth->add(1);
   try_dispatch();
 }
 
-OutputPort::QueuedPacket OutputPort::pop_front(ib::VirtualLane vl) {
+obs::Gauge& OutputPort::vl_depth_gauge(ib::VirtualLane vl) {
+  // Cold: once per (port, VL). Assembling the metric name here keeps the
+  // string machinery out of the annotated enqueue body.
+  return sim_.obs().gauge("link." + name_ + ".vl." +
+                          std::to_string(static_cast<int>(vl)) +
+                          ".queue_depth");
+}
+
+obs::Counter& OutputPort::vl_dispatched_counter(int vl_index) {
+  // Cold: once per (port, VL), on the first dispatch.
+  return sim_.obs().counter("link." + name_ + ".vl." +
+                            std::to_string(vl_index) + ".dispatched");
+}
+
+IBSEC_HOT OutputPort::QueuedPacket OutputPort::pop_front(ib::VirtualLane vl) {
   QueuedPacket entry = std::move(vl_queues_[vl].front());
   vl_queues_[vl].pop_front();
   obs_queue_depth_->add(-1);
@@ -82,7 +97,8 @@ OutputPort::QueuedPacket OutputPort::pop_front(ib::VirtualLane vl) {
   return entry;
 }
 
-void OutputPort::credit_return(ib::VirtualLane vl, std::size_t bytes) {
+IBSEC_HOT void OutputPort::credit_return(ib::VirtualLane vl,
+                                         std::size_t bytes) {
   credits_[vl] += bytes;
   IBSEC_CHECK(credits_[vl] <= params_.buffer_bytes_per_vl)
       << "port " << name_ << " VL " << static_cast<int>(vl)
@@ -124,7 +140,7 @@ int OutputPort::arbitrate() {
   return arbiter_.pick(sendable);
 }
 
-void OutputPort::try_dispatch() {
+IBSEC_HOT void OutputPort::try_dispatch() {
   while (true) {
     if (line_busy_ || peer_ == nullptr) return;
     const int vl_index = arbitrate();
@@ -152,18 +168,14 @@ void OutputPort::try_dispatch() {
       if (sim_.trace().enabled() && entry.pkt.meta.trace_id != 0) {
         sim_.trace().instant(entry.pkt.meta.trace_id,
                              obs::TraceEventType::kLinkFault, -1, sim_.now(),
-                             "flap:" + name_);
+                             flap_label_);
       }
       if (entry.on_dispatch) entry.on_dispatch(entry.pkt);
       continue;
     }
 
     obs::Counter*& vl_counter = obs_vl_dispatched_[vl];
-    if (vl_counter == nullptr) {
-      vl_counter = &sim_.obs().counter(
-          "link." + name_ + ".vl." + std::to_string(vl_index) +
-          ".dispatched");
-    }
+    if (vl_counter == nullptr) vl_counter = &vl_dispatched_counter(vl_index);
     vl_counter->inc();
 
     QueuedPacket entry = pop_front(vl);
@@ -230,7 +242,7 @@ void OutputPort::try_dispatch() {
       if (sim_.trace().enabled() && entry.pkt.meta.trace_id != 0) {
         sim_.trace().instant(entry.pkt.meta.trace_id,
                              obs::TraceEventType::kLinkFault, -1, sim_.now(),
-                             "drop:" + name_);
+                             drop_label_);
       }
       if (vl != ib::kManagementVl) {
         sim_.after(tx_time + 2 * params_.propagation, [this, vl, bytes] {
@@ -249,7 +261,7 @@ void OutputPort::try_dispatch() {
       if (sim_.trace().enabled() && entry.pkt.meta.trace_id != 0) {
         sim_.trace().instant(entry.pkt.meta.trace_id,
                              obs::TraceEventType::kLinkFault, -1, sim_.now(),
-                             "corrupt:" + name_);
+                             corrupt_label_);
       }
       if (!entry.pkt.payload.empty()) {
         const std::size_t at = fault_rng_.uniform(entry.pkt.payload.size());

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ring_queue.h"
 #include "common/rng.h"
 #include "fabric/config.h"
@@ -61,12 +62,12 @@ class OutputPort {
 
   /// Queues a packet for transmission on `vl`. `on_dispatch` (optional) runs
   /// when the first byte goes on the wire.
-  void enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
-               DispatchHook on_dispatch = nullptr);
+  IBSEC_HOT void enqueue(ib::Packet&& pkt, ib::VirtualLane vl,
+                         DispatchHook on_dispatch = nullptr);
 
   /// Returns `bytes` of credit for `vl` (receiver freed buffer). Called via
   /// the simulator after the reverse-direction propagation delay.
-  void credit_return(ib::VirtualLane vl, std::size_t bytes);
+  IBSEC_HOT void credit_return(ib::VirtualLane vl, std::size_t bytes);
 
   std::size_t queue_depth(ib::VirtualLane vl) const;
   std::size_t queued_bytes(ib::VirtualLane vl) const;
@@ -90,9 +91,13 @@ class OutputPort {
     SimTime enqueued_at = 0;  ///< for the VL-arbitration-wait trace span
   };
 
-  void try_dispatch();
+  IBSEC_HOT void try_dispatch();
   /// Removes the head of `vl`'s queue, keeping the depth gauges honest.
-  QueuedPacket pop_front(ib::VirtualLane vl);
+  IBSEC_HOT QueuedPacket pop_front(ib::VirtualLane vl);
+  /// Cold lazy resolvers: the first packet on a VL registers that VL's
+  /// metric here, keeping the name assembly out of the IBSEC_HOT bodies.
+  obs::Gauge& vl_depth_gauge(ib::VirtualLane vl);
+  obs::Counter& vl_dispatched_counter(int vl_index);
   /// VL15 first (exempt from arbitration and flow control), then the
   /// weighted arbitration tables; -1 if nothing can send.
   int arbitrate();
@@ -140,6 +145,11 @@ class OutputPort {
   obs::Gauge* obs_queue_depth_ = nullptr;
   std::vector<obs::Gauge*> obs_vl_depth_;
   SimTime stall_since_ = -1;
+  // Trace labels assembled once at construction: the fault sites sit inside
+  // IBSEC_HOT functions and must not concatenate strings per event.
+  std::string flap_label_;
+  std::string drop_label_;
+  std::string corrupt_label_;
 
  public:
   std::uint64_t packets_corrupted() const { return packets_corrupted_; }

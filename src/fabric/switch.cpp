@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/annotations.h"
+
 namespace ibsec::fabric {
 
 Switch::Switch(sim::Simulator& simulator, const FabricConfig& config, int id,
@@ -57,7 +59,7 @@ void Switch::set_route(ib::Lid dlid, int port) {
 
 std::string Switch::name() const { return "switch-" + std::to_string(id_); }
 
-void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
+IBSEC_HOT void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   InputPort& input = inputs_.at(static_cast<std::size_t>(in_port));
   const ib::VirtualLane vl = pkt.lrh.vl;
   input.accept(pkt, vl);

@@ -27,7 +27,7 @@ VlArbiter::VlArbiter(VlArbitrationConfig config) {
   low_.refill();
 }
 
-void VlArbiter::on_sent(ib::VirtualLane vl, std::size_t bytes) {
+IBSEC_HOT void VlArbiter::on_sent(ib::VirtualLane vl, std::size_t bytes) {
   if (last_table_ == nullptr || last_table_->empty()) return;
   TableState& table = *last_table_;
   if (table.entries[table.index].vl != vl) return;  // stale notification

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "ib/types.h"
 #include "obs/registry.h"
@@ -48,7 +49,7 @@ class VlArbiter {
   /// predicate so the per-dispatch call stays a direct lambda invocation —
   /// no std::function wrapper on the hot path.
   template <class Sendable>
-  int pick(const Sendable& sendable) {
+  IBSEC_HOT int pick(const Sendable& sendable) {
     const int high = pick_from(high_, sendable);
     if (high >= 0) {
       if (obs_high_grants_ != nullptr) obs_high_grants_->inc();
@@ -61,7 +62,7 @@ class VlArbiter {
 
   /// Informs the arbiter that `bytes` were transmitted on `vl`, consuming
   /// weight and advancing the WRR pointer when the entry is exhausted.
-  void on_sent(ib::VirtualLane vl, std::size_t bytes);
+  IBSEC_HOT void on_sent(ib::VirtualLane vl, std::size_t bytes);
 
   /// Attaches grant counters (owned by the registry): each successful pick
   /// increments the counter of the table it was served from — the per-link
@@ -90,7 +91,7 @@ class VlArbiter {
 
   /// Scans a table WRR-style; returns the chosen VL or -1.
   template <class Sendable>
-  int pick_from(TableState& table, const Sendable& sendable) {
+  IBSEC_HOT int pick_from(TableState& table, const Sendable& sendable) {
     if (table.empty()) return -1;
     IBSEC_DCHECK(table.index < table.entries.size());
     IBSEC_DCHECK(table.remaining <= table.entries[table.index].weight);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/annotations.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
@@ -32,13 +33,13 @@ class Simulator {
   /// Schedules `fn` at absolute time `when` (must be >= now()). Forwards the
   /// raw callable so it is built in place inside the queue's slot pool.
   template <class F>
-  void at(SimTime when, F&& fn) {
+  IBSEC_HOT void at(SimTime when, F&& fn) {
     queue_.schedule(when < now_ ? now_ : when, std::forward<F>(fn));
   }
 
   /// Schedules `fn` `delay` after the current time.
   template <class F>
-  void after(SimTime delay, F&& fn) {
+  IBSEC_HOT void after(SimTime delay, F&& fn) {
     queue_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
@@ -60,7 +61,7 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
-  void step() {
+  IBSEC_HOT void step() {
     queue_.pop_and_run([this](SimTime t) {
       now_ = t;
       ++events_processed_;

@@ -563,7 +563,8 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
   }
 }
 
-void ChannelAdapter::track_rc_psn(const ib::Packet& pkt, QueuePair& qp) {
+IBSEC_HOT void ChannelAdapter::track_rc_psn(const ib::Packet& pkt,
+                                            QueuePair& qp) {
   // RC delivery is expected in PSN order (the lossless fabric preserves
   // per-VL FIFO); deviations are counted, not dropped — the simulator has
   // no retransmission path to exercise.
@@ -654,7 +655,7 @@ void ChannelAdapter::complete_rdma_read(const ib::Packet& pkt) {
 
 // --- RC reliability: sender side ---------------------------------------------
 
-void ChannelAdapter::rc_submit(QueuePair& qp, ib::Packet&& pkt) {
+IBSEC_HOT void ChannelAdapter::rc_submit(QueuePair& qp, ib::Packet&& pkt) {
   if (!rc_config_.enabled) {
     sign_and_send(std::move(pkt));
     return;
@@ -663,13 +664,15 @@ void ChannelAdapter::rc_submit(QueuePair& qp, ib::Packet&& pkt) {
   // order is PSN order, so release keeps the wire sequence intact.
   if (!qp.rc_tx.pending.empty() ||
       qp.rc_tx.window.size() >= rc_config_.max_outstanding) {
+    // Window-full backpressure is the slow path by definition; the deque
+    // only grows while the wire stays saturated. IBSEC_DETLINT_ALLOW(hot-alloc)
     qp.rc_tx.pending.push_back(std::move(pkt));
     return;
   }
   rc_transmit(qp, std::move(pkt));
 }
 
-void ChannelAdapter::rc_transmit(QueuePair& qp, ib::Packet&& pkt) {
+IBSEC_HOT void ChannelAdapter::rc_transmit(QueuePair& qp, ib::Packet&& pkt) {
   IBSEC_CHECK(qp.rc_tx.window.size() < rc_config_.max_outstanding)
       << "RC window overflow on QP " << qp.qpn << ": "
       << qp.rc_tx.window.size() << " outstanding";
@@ -763,7 +766,7 @@ void ChannelAdapter::rc_fail(QueuePair& qp) {
   if (rc_error_handler_) rc_error_handler_(qp.qpn, oldest);
 }
 
-void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
+IBSEC_HOT void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
   if (!rc_config_.enabled) {
     ++counters_.acks_received;
     retire_.ack->inc();
@@ -783,10 +786,7 @@ void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
   const auto note_spoof = [this](const ib::Packet& p, std::size_t cleared) {
     if (!p.meta.is_attack || cleared == 0) return;
     ++counters_.rc_spoofed_accepted;
-    if (rc_spoofed_obs_ == nullptr) {
-      rc_spoofed_obs_ = &fabric_.simulator().obs().counter(
-          "ca." + std::to_string(node_) + ".rc.spoofed_control_accepted");
-    }
+    if (rc_spoofed_obs_ == nullptr) rc_spoofed_obs_ = &rc_spoofed_counter();
     rc_spoofed_obs_->inc();
   };
 
@@ -833,8 +833,14 @@ void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
   retire_.rc_bad_control->inc();
 }
 
-std::size_t ChannelAdapter::rc_ack_through(QueuePair& qp, ib::Psn psn,
-                                           bool inclusive) {
+obs::Counter& ChannelAdapter::rc_spoofed_counter() {
+  return fabric_.simulator().obs().counter(
+      "ca." + std::to_string(node_) + ".rc.spoofed_control_accepted");
+}
+
+IBSEC_HOT std::size_t ChannelAdapter::rc_ack_through(QueuePair& qp,
+                                                     ib::Psn psn,
+                                                     bool inclusive) {
   std::size_t retired = 0;
   bool progressed = false;
   auto it = qp.rc_tx.window.begin();

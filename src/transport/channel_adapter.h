@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.h"
 #include "crypto/ctr_drbg.h"
 #include "crypto/rsa.h"
 #include "fabric/topology.h"
@@ -236,20 +237,21 @@ class ChannelAdapter {
   void serve_rdma_read(const ib::Packet& pkt, bool duplicate = false);
   void complete_rdma_read(const ib::Packet& pkt);
   void maybe_send_ack(const ib::Packet& pkt);
-  void track_rc_psn(const ib::Packet& pkt, QueuePair& qp);
+  IBSEC_HOT void track_rc_psn(const ib::Packet& pkt, QueuePair& qp);
   // RC reliability: sender side.
-  void rc_submit(QueuePair& qp, ib::Packet&& pkt);
-  void rc_transmit(QueuePair& qp, ib::Packet&& pkt);
+  IBSEC_HOT void rc_submit(QueuePair& qp, ib::Packet&& pkt);
+  IBSEC_HOT void rc_transmit(QueuePair& qp, ib::Packet&& pkt);
   void rc_release_pending(QueuePair& qp);
   void arm_rc_timer(QueuePair& qp);
   void on_rc_timeout(ib::Qpn qpn, std::uint64_t generation);
   void rc_retransmit(QueuePair& qp, ib::Psn from_psn);
   void rc_fail(QueuePair& qp);
-  void handle_rc_ack(const ib::Packet& pkt);
+  IBSEC_HOT void handle_rc_ack(const ib::Packet& pkt);
   /// Returns how many window entries the cumulative (N)ACK retired — the
   /// spoof-accounting in handle_rc_ack needs to know whether a forged
   /// control packet actually cleared anything.
-  std::size_t rc_ack_through(QueuePair& qp, ib::Psn psn, bool inclusive);
+  IBSEC_HOT std::size_t rc_ack_through(QueuePair& qp, ib::Psn psn,
+                                       bool inclusive);
   void rc_on_progress(QueuePair& qp);
   void rc_on_read_response(const ib::Packet& pkt);
   // RC reliability: receiver side.
@@ -258,6 +260,9 @@ class ChannelAdapter {
   void send_rc_nak(QueuePair& qp);
   /// Lazily-resolved "ca.<n>.qp.<qpn>.dropped_bad_qkey" handle.
   obs::Counter& qkey_drop_counter(const QueuePair& qp);
+  /// Cold lazy resolver for "ca.<n>.rc.spoofed_control_accepted": keeps the
+  /// name assembly out of the IBSEC_HOT ACK-processing path.
+  obs::Counter& rc_spoofed_counter();
   /// Signs (if an authenticator applies) or finalizes, then sends.
   void sign_and_send(ib::Packet&& pkt);
   bool handle_port_reconfigure(const Mad& mad);

@@ -1,0 +1,28 @@
+// Broken-on-purpose fixture for the hot-alloc pass: one banned construct
+// per line inside IBSEC_HOT regions, and the same constructs outside a
+// region to prove the pass only looks where it is told to. Never compiled —
+// only scanned. The test asserts the exact finding count, so keep the
+// violation lines in sync with test_detlint.cpp.
+struct HotpathBad {
+  IBSEC_HOT void per_event() {
+    items_.push_back(7);
+    int* leak = new int(3);
+    auto owned = std::make_unique<int>(4);
+    std::function<void()> hook = [] {};
+    std::deque<int> spill;
+    std::string label = name_;
+    record(std::to_string(9));
+    set_label("flap:" + name_);
+    use(leak, owned, hook, spill, label);
+  }
+
+  // Annotated declaration, body elsewhere: no region opens at a ';'.
+  IBSEC_HOT void declared_only();
+
+  // Unannotated: the same allocations are fine on the cold path.
+  void cold_setup() {
+    items_.push_back(1);
+    std::string title = "setup:" + name_;
+    use(title);
+  }
+};

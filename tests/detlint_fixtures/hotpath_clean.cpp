@@ -1,0 +1,26 @@
+// Clean fixture for the hot-alloc pass: hot regions that stay within the
+// zero-allocation budget, including the two sanctioned escape hatches — a
+// reserve() call in the region, and an explicit waiver for amortized
+// growth. Never compiled — only scanned.
+struct HotpathClean {
+  IBSEC_HOT void per_event() {
+    const int head = ring_.pop();
+    sum_ += head;
+    gauge_->add(1);
+  }
+
+  IBSEC_HOT void presized() {
+    scratch_.reserve(64);
+    scratch_.push_back(5);
+  }
+
+  IBSEC_HOT void amortized() {
+    // Pool growth reaches steady state. IBSEC_DETLINT_ALLOW(hot-alloc)
+    chunks_.push_back(acquire_chunk());
+  }
+
+  void cold_setup() {
+    std::string title = "setup:" + name_;
+    labels_.push_back(title);
+  }
+};

@@ -1,0 +1,3 @@
+// Included by workload/gen.h to trigger the sibling-crossing report.
+#pragma once
+inline int stats() { return 3; }

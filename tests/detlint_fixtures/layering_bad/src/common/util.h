@@ -1,0 +1,4 @@
+// Layering violation: common (rank 0) reaching up into sim (rank 4).
+#pragma once
+#include "sim/engine.h"
+inline int util() { return engine_tick(); }

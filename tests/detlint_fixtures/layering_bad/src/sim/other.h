@@ -1,0 +1,4 @@
+// Other half of the cycle.
+#pragma once
+#include "sim/engine.h"
+inline int other_tick() { return 2; }

@@ -1,0 +1,5 @@
+// Sibling crossing: workload and analytic share the top rank but are
+// separate leaf layers — neither may include the other.
+#pragma once
+#include "analytic/stats.h"
+inline int gen() { return stats(); }

@@ -1,0 +1,21 @@
+// Lexer edge cases: contract-violating *text* inside raw strings, spliced
+// comments, and spliced string literals must not trigger rules, while the
+// one real violation on line 21 must land on line 21. Never compiled —
+// only scanned.
+const char* kRawDoc = R"doc(
+  This block quotes forbidden code without using it:
+    std::unordered_map<int, int> table;
+    int r = rand();
+    auto t = std::chrono::steady_clock::now();
+)doc";
+
+// A backslash splices the next line into this comment: rand() and \
+   std::unordered_set<int> stay commented here.
+
+const char* kSplicedLiteral = "quoted rand() call spliced across \
+a physical line break stays a string";
+
+const char* kPrefixedRaw = u8R"x(std::time(nullptr) in a prefixed raw)x";
+
+// The only real finding in this file; the test pins its line number.
+int real_violation() { return rand(); }

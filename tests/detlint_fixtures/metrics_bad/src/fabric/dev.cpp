@@ -1,0 +1,6 @@
+// Metric-schema fixture: one registration matching the schema, one typo a
+// near-miss suggestion must catch. Never compiled — only scanned.
+void Dev::register_metrics(Registry& reg, const std::string& prefix) {
+  ok_ = &reg.counter(prefix + "packets");
+  typo_ = &reg.counter(prefix + "forwrded");
+}

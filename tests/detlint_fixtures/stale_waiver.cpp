@@ -1,0 +1,15 @@
+// Fixture for the unused-allow pass: a waiver whose violation was fixed
+// but whose directive was left behind, plus a live waiver that must NOT be
+// reported. Never compiled — only scanned.
+struct StaleWaiver {
+  int tidy() {
+    // The rand() call below was replaced long ago; the waiver is stale.
+    // IBSEC_DETLINT_ALLOW(raw-rand)
+    return 4;
+  }
+
+  int seeded() {
+    // IBSEC_DETLINT_ALLOW(raw-rand) fixture needs a real raw rand
+    return rand();
+  }
+};

@@ -1,0 +1,141 @@
+#include "analysis_hotpath.h"
+
+#include <string>
+
+namespace ibsec::detlint {
+namespace {
+
+bool std_qualified(std::string_view line, std::size_t pos) {
+  return pos >= 5 && line.compare(pos - 5, 5, "std::") == 0;
+}
+
+std::string raw_snippet(const FileModel& fm, int line) {
+  const std::size_t idx = static_cast<std::size_t>(line) - 1;
+  return idx < fm.raw_lines.size() ? trim(fm.raw_lines[idx]) : std::string();
+}
+
+bool region_calls_reserve(const FileModel& fm, const HotRegion& region) {
+  for (int l = region.begin_line; l <= region.end_line; ++l) {
+    const std::string& line = fm.lexed.code[static_cast<std::size_t>(l) - 1];
+    for (const std::size_t pos : word_positions(line, "reserve")) {
+      if (is_call(line, pos, 7, /*exclude_members=*/false)) return true;
+    }
+  }
+  return false;
+}
+
+void scan_region(const FileModel& fm, const HotRegion& region,
+                 std::vector<Finding>& findings) {
+  const auto add = [&](int line, std::string message) {
+    findings.push_back(Finding{fm.path, line, "hot-alloc", std::move(message),
+                               raw_snippet(fm, line)});
+  };
+  const bool reserved = region_calls_reserve(fm, region);
+
+  for (int l = region.begin_line; l <= region.end_line; ++l) {
+    const std::string& line = fm.lexed.code[static_cast<std::size_t>(l) - 1];
+
+    for (const std::size_t pos : word_positions(line, "new")) {
+      (void)pos;
+      add(l,
+          "operator new inside an IBSEC_HOT region: the per-event path has a "
+          "zero-allocation budget (see common/alloc_probe.h); pool the "
+          "object, or waive an amortized growth path with "
+          "IBSEC_DETLINT_ALLOW(hot-alloc)");
+    }
+    for (const std::string_view word : {std::string_view("make_unique"),
+                                        std::string_view("make_shared")}) {
+      for (const std::size_t pos : word_positions(line, word)) {
+        (void)pos;
+        add(l, "std::" + std::string(word) +
+                   " heap-allocates inside an IBSEC_HOT region; pool the "
+                   "object or hoist the allocation out of the hot path");
+      }
+    }
+    for (const std::size_t pos : word_positions(line, "function")) {
+      if (std_qualified(line, pos)) {
+        add(l,
+            "std::function in an IBSEC_HOT region heap-allocates once a "
+            "capture outgrows its small buffer; use sim::InlineFunction "
+            "(sim/inline_function.h)");
+      }
+    }
+    for (const std::string_view word :
+         {std::string_view("deque"), std::string_view("list"),
+          std::string_view("map"), std::string_view("multimap"),
+          std::string_view("set"), std::string_view("multiset")}) {
+      for (const std::size_t pos : word_positions(line, word)) {
+        if (std_qualified(line, pos)) {
+          add(l, "std::" + std::string(word) +
+                     " in an IBSEC_HOT region allocates per node/segment; "
+                     "use a pre-sized vector or common/ring_queue.h");
+        }
+      }
+    }
+    for (const std::string_view word : {std::string_view("push_back"),
+                                        std::string_view("emplace_back")}) {
+      for (const std::size_t pos : word_positions(line, word)) {
+        if (!is_call(line, pos, word.size(), /*exclude_members=*/false)) {
+          continue;
+        }
+        if (reserved) continue;  // region pre-sizes its containers
+        add(l, std::string(word) +
+                   " in an IBSEC_HOT region with no reserve() call in "
+                   "sight can reallocate mid-event; reserve capacity up "
+                   "front or waive an amortized growth path with "
+                   "IBSEC_DETLINT_ALLOW(hot-alloc)");
+      }
+    }
+    for (const std::size_t pos : word_positions(line, "string")) {
+      if (std_qualified(line, pos)) {
+        add(l,
+            "std::string in an IBSEC_HOT region: construction and "
+            "concatenation allocate past the SSO buffer; use string_view "
+            "or hoist the string out of the hot path");
+      }
+    }
+    for (const std::size_t pos : word_positions(line, "to_string")) {
+      if (is_call(line, pos, 9, /*exclude_members=*/false) &&
+          std_qualified(line, pos)) {
+        add(l,
+            "std::to_string in an IBSEC_HOT region returns a temporary "
+            "std::string; format outside the hot path");
+      }
+    }
+  }
+
+  // String-literal concatenation builds a temporary std::string even with no
+  // `string` token on the line ("flap:" + name_). Literal positions come
+  // from the lexer's table; the preserved quote delimiters let us check the
+  // neighboring operator.
+  for (const StringLiteral& lit : fm.lexed.strings) {
+    if (lit.line < region.begin_line || lit.line > region.end_line) continue;
+    const std::string& line =
+        fm.lexed.code[static_cast<std::size_t>(lit.line) - 1];
+    const std::string& end_line =
+        fm.lexed.code[static_cast<std::size_t>(lit.end_line) - 1];
+    const bool plus_before = prev_nonspace(line, lit.col) == '+';
+    const bool plus_after = next_nonspace(end_line, lit.end_col) == '+';
+    if (plus_before || plus_after) {
+      add(lit.line,
+          "string-literal concatenation in an IBSEC_HOT region builds a "
+          "temporary std::string; hoist the name/prefix out of the hot "
+          "path or waive a one-time lazy registration with "
+          "IBSEC_DETLINT_ALLOW(hot-alloc)");
+    }
+  }
+}
+
+}  // namespace
+
+void run_hotpath_pass(const FileModel& fm, std::vector<Finding>& findings) {
+  for (const HotRegion& region : fm.hot_regions) {
+    if (region.begin_line < 1 ||
+        static_cast<std::size_t>(region.end_line) > fm.lexed.code.size()) {
+      continue;
+    }
+    scan_region(fm, region, findings);
+  }
+}
+
+}  // namespace ibsec::detlint

@@ -1,0 +1,126 @@
+#include "analysis_layering.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace ibsec::detlint {
+namespace {
+
+std::string raw_snippet(const FileModel& fm, int line) {
+  const std::size_t idx = static_cast<std::size_t>(line) - 1;
+  return idx < fm.raw_lines.size() ? trim(fm.raw_lines[idx]) : std::string();
+}
+
+int include_line(const FileModel& fm, std::string_view target) {
+  for (const IncludeDirective& inc : fm.includes) {
+    if (inc.target == target) return inc.line;
+  }
+  return 1;
+}
+
+}  // namespace
+
+void run_layering_pass(Project& project, std::vector<Finding>& findings) {
+  // --- direction check: no include may point up the DAG ---------------------
+  for (const FileModel& fm : project.files) {
+    if (fm.rel.empty()) continue;
+    const std::string_view layer = layer_of(fm.rel);
+    const int rank = layer_rank(layer);
+    if (rank < 0) continue;
+    for (const IncludeDirective& inc : fm.includes) {
+      const std::string_view target_layer = layer_of(inc.target);
+      const int target_rank = layer_rank(target_layer);
+      if (target_rank < 0) continue;
+      const bool upward = target_rank > rank;
+      const bool sibling = target_rank == rank && target_layer != layer;
+      if (!upward && !sibling) continue;
+      findings.push_back(Finding{
+          fm.path, inc.line, "layering",
+          "layer '" + std::string(layer) + "' (rank " + std::to_string(rank) +
+              ") must not include '" + inc.target + "' from layer '" +
+              std::string(target_layer) + "' (rank " +
+              std::to_string(target_rank) +
+              (upward ? "); dependencies flow strictly down the DAG "
+                        "common→crypto→ib→obs→sim→fabric→transport→"
+                        "security→workload/analytic"
+                      : "); sibling leaf layers must stay independent"),
+          raw_snippet(fm, inc.line)});
+    }
+  }
+
+  // --- file-level include cycles --------------------------------------------
+  // Edges between project files only (an include whose target is not a
+  // loaded file cannot close a cycle we can see). DFS with an explicit
+  // stack; every distinct cycle is reported once, anchored at its
+  // lexicographically smallest member so output is deterministic.
+  std::map<std::string, std::vector<std::string>> graph;
+  for (const FileModel& fm : project.files) {
+    if (fm.rel.empty()) continue;
+    auto& out = graph[fm.rel];
+    for (const IncludeDirective& inc : fm.includes) {
+      if (project.find_by_rel(inc.target) != nullptr) {
+        out.push_back(inc.target);
+      }
+    }
+  }
+
+  std::set<std::string> reported;  // canonical cycle keys
+  std::map<std::string, int> color;  // 0 new, 1 on stack, 2 done
+  for (const auto& [start, unused] : graph) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    // (node, next edge index) stack plus the current path for cycle extraction.
+    std::vector<std::pair<std::string, std::size_t>> stack{{start, 0}};
+    std::vector<std::string> path{start};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      const auto& out = graph[node];
+      if (edge >= out.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const std::string next = out[edge++];
+      if (color[next] == 1) {
+        // Back edge: the cycle is path[k..] + next, where path[k] == next.
+        const auto it = std::find(path.begin(), path.end(), next);
+        std::vector<std::string> cycle(it, path.end());
+        // Canonical form: rotate so the smallest member leads.
+        const auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        std::string key;
+        std::string chain;
+        for (const std::string& n : cycle) {
+          key += n + "|";
+          chain += n + " -> ";
+        }
+        chain += cycle.front();
+        if (reported.insert(key).second) {
+          FileModel* anchor = project.find_by_rel(cycle.front());
+          const std::string& edge_target =
+              cycle.size() > 1 ? cycle[1] : cycle.front();
+          const int line = anchor ? include_line(*anchor, edge_target) : 1;
+          findings.push_back(Finding{
+              anchor ? anchor->path : cycle.front(), line, "layering",
+              "include cycle: " + chain +
+                  "; break the cycle with a forward declaration or by "
+                  "moving the shared type down a layer",
+              anchor ? raw_snippet(*anchor, line) : std::string()});
+        }
+        continue;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back({next, 0});
+        path.push_back(next);
+      }
+    }
+  }
+}
+
+}  // namespace ibsec::detlint

@@ -1,0 +1,25 @@
+// Layering pass: enforces the layer dependency DAG over quoted #includes.
+//
+//   common → crypto → ib → obs → sim → fabric → transport → security
+//                                                  → workload / analytic
+//
+// Two finding shapes, both under rule "layering":
+//   - an upward (or sibling-crossing) include: file in layer X includes a
+//     header whose layer outranks X (or is a different layer of equal rank);
+//   - an include cycle between files, reported once per cycle with the full
+//     edge chain (a.h -> b.h -> a.h).
+//
+// Only files below a `src/` component participate; the include target is
+// interpreted relative to src/ (the project's only include root).
+#pragma once
+
+#include <vector>
+
+#include "analysis_model.h"
+#include "detlint.h"
+
+namespace ibsec::detlint {
+
+void run_layering_pass(Project& project, std::vector<Finding>& findings);
+
+}  // namespace ibsec::detlint

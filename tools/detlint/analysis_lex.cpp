@@ -1,0 +1,195 @@
+#include "analysis_lex.h"
+
+#include <cctype>
+
+namespace ibsec::detlint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+const StringLiteral* LexedSource::literal_at(int line, std::size_t col) const {
+  for (const StringLiteral& lit : strings) {
+    if (lit.line == line && lit.col == col) return &lit;
+  }
+  return nullptr;
+}
+
+LexedSource lex_source(std::string_view src) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  LexedSource out;
+  std::string code_line;
+  std::string comment_line;
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  StringLiteral current;  // literal being accumulated (kString/kRawString)
+  int lineno = 1;
+
+  auto flush_line = [&] {
+    out.code.push_back(std::move(code_line));
+    out.comments.push_back(std::move(comment_line));
+    code_line.clear();
+    comment_line.clear();
+    ++lineno;
+  };
+  auto begin_literal = [&] {
+    current = StringLiteral{};
+    current.line = lineno;
+    current.col = code_line.size();
+  };
+  auto end_literal = [&] {
+    current.end_line = lineno;
+    current.end_col = code_line.size();
+    out.strings.push_back(std::move(current));
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      // Phase-2 splicing runs before comment recognition, so a // comment
+      // whose last character is a backslash swallows the next physical
+      // line too — detlint must not scan that line as code.
+      if (state == State::kLineComment &&
+          !(i > 0 && src[i - 1] == '\\')) {
+        state = State::kCode;
+      }
+      // A bare newline ends an (unterminated) string/char literal: real
+      // C++ would not compile, and staying in literal state would blank
+      // the rest of the file after one stray quote.
+      if (state == State::kString || state == State::kChar) {
+        end_literal();
+        state = State::kCode;
+      }
+      if (state == State::kRawString) current.value += '\n';
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw-string literal? The '"' directly follows an R (possibly a
+          // uR/u8R/LR prefix); the delimiter runs up to the '('.
+          const bool raw = !code_line.empty() && code_line.back() == 'R' &&
+                           (code_line.size() < 2 ||
+                            !is_ident_char(code_line[code_line.size() - 2]) ||
+                            code_line[code_line.size() - 2] == '8' ||
+                            code_line[code_line.size() - 2] == 'u' ||
+                            code_line[code_line.size() - 2] == 'U' ||
+                            code_line[code_line.size() - 2] == 'L');
+          begin_literal();
+          code_line += '"';
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          if (raw) {
+            while (j < src.size() && src[j] != '(' && src[j] != '\n') {
+              raw_delim += src[j];
+              ++j;
+            }
+          }
+          if (raw && j < src.size() && src[j] == '(') {
+            // Consume `delim(` now so it never reaches the value; blank it
+            // in the code view to keep columns aligned.
+            for (std::size_t k = i + 1; k <= j; ++k) code_line += ' ';
+            i = j;
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'' &&
+                   (code_line.empty() || !is_ident_char(code_line.back()))) {
+          // Ident-adjacent quotes are digit separators (1'000'000).
+          code_line += '\'';
+          state = State::kChar;
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          if (next == '\n') {
+            // Backslash-newline splice inside a literal: the literal
+            // continues on the next physical line. Emit the line break so
+            // line numbers stay aligned with the raw source.
+            code_line += ' ';
+            ++i;  // consume the backslash; the newline is handled below
+            flush_line();
+          } else {
+            // Any other escape (\" \\ \n ...): both chars are interior.
+            code_line += "  ";
+            if (state == State::kString) {
+              current.value += c;
+              current.value += next;
+            }
+            ++i;
+          }
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          code_line += c;
+          if (state == State::kString) end_literal();
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+          if (state == State::kString) current.value += c;
+        }
+        break;
+      case State::kRawString: {
+        // Ends at )delim" — look ahead without consuming past it. No
+        // escape processing: that is the point of raw strings.
+        const std::string close = ")" + raw_delim + "\"";
+        if (src.compare(i, close.size(), close) == 0) {
+          for (std::size_t k = 0; k + 1 < close.size(); ++k) code_line += ' ';
+          code_line += '"';
+          i += close.size() - 1;
+          end_literal();
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+          current.value += c;
+        }
+        break;
+      }
+    }
+  }
+  if (state == State::kString || state == State::kChar ||
+      state == State::kRawString) {
+    end_literal();
+  }
+  flush_line();
+  return out;
+}
+
+}  // namespace ibsec::detlint

@@ -1,0 +1,60 @@
+// Shared C++ surface lexer for every detlint pass.
+//
+// detlint is a *contract* linter, not a compiler: it needs just enough
+// lexical structure to (a) never match rule patterns inside comments,
+// string literals or char literals, (b) find ALLOW markers only inside
+// comments, and (c) recover the actual text of string literals for the
+// metric-schema pass. This header is that shared substrate; the rule
+// passes (detlint.cpp line rules, analysis_hotpath, analysis_metrics,
+// analysis_layering) all consume a LexedSource instead of re-lexing.
+//
+// Fidelity requirements the passes rely on:
+//   - Column-preserving: every blanked character is replaced 1:1 with a
+//     space, so (line, column) positions in `code` line up with the raw
+//     source and with the literal table.
+//   - Delimiters survive: the quote characters of string/char literals are
+//     kept in `code` (only the *interiors* are blanked), so passes can
+//     detect literal-adjacent syntax such as `"prefix" + x` temporaries.
+//   - Raw strings: `R"delim( ... )delim"` (with u/U/L/u8 prefixes) is
+//     blanked across any number of lines; contract-looking text inside one
+//     can never produce a finding.
+//   - Backslash line splices: a `\` at end of line continues a // comment
+//     onto the next physical line (phase-2 splicing runs before comment
+//     recognition), and a splice inside a string literal continues the
+//     literal without desynchronizing line numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibsec::detlint {
+
+/// One string literal as written (adjacent-literal concatenation is not
+/// applied; each quoted piece is its own entry).
+struct StringLiteral {
+  int line = 0;          ///< 1-based line of the opening quote
+  std::size_t col = 0;   ///< 0-based column of the opening quote
+  int end_line = 0;      ///< 1-based line of the closing quote
+  std::size_t end_col = 0;  ///< 0-based column just *past* the closing quote
+  std::string value;     ///< source bytes between the delimiters, verbatim
+};
+
+struct LexedSource {
+  /// Per-line code view: comments and literal interiors blanked to spaces,
+  /// column-aligned with the raw source; literal delimiters kept.
+  std::vector<std::string> code;
+  /// Per-line comment text (contents only; empty when the line has none).
+  std::vector<std::string> comments;
+  /// Every string literal, in source order (raw strings included).
+  std::vector<StringLiteral> strings;
+
+  /// The literal whose opening quote sits exactly at (line, col); nullptr
+  /// when there is none (e.g. the position is a closing quote).
+  const StringLiteral* literal_at(int line, std::size_t col) const;
+};
+
+LexedSource lex_source(std::string_view src);
+
+}  // namespace ibsec::detlint

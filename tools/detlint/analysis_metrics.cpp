@@ -1,0 +1,197 @@
+#include "analysis_metrics.h"
+
+#include <cctype>
+#include <fstream>
+#include <limits>
+
+namespace ibsec::detlint {
+namespace {
+
+std::string raw_snippet(const FileModel& fm, int line) {
+  const std::size_t idx = static_cast<std::size_t>(line) - 1;
+  return idx < fm.raw_lines.size() ? trim(fm.raw_lines[idx]) : std::string();
+}
+
+constexpr std::string_view kRegistrationWords[] = {
+    "counter", "gauge", "time_accumulator", "histogram"};
+
+/// Walks the first argument of the call whose '(' is at (line0, open),
+/// building the wildcard pattern. Stops at the matching ')' or a top-level
+/// ','; literals come from the lexer's table, everything else collapses
+/// into '*'.
+std::string walk_name_argument(const FileModel& fm, std::size_t line0,
+                               std::size_t open) {
+  const auto& code = fm.lexed.code;
+  std::string pattern;
+  const auto add_wildcard = [&] {
+    if (pattern.empty() || pattern.back() != '*') pattern += '*';
+  };
+  int depth = 0;
+  std::size_t j = line0;
+  std::size_t col = open + 1;
+  while (j < code.size()) {
+    const std::string& line = code[j];
+    for (; col < line.size(); ++col) {
+      const char c = line[col];
+      if (c == '(') {
+        ++depth;
+        add_wildcard();  // a nested call computes part of the name
+      } else if (c == ')') {
+        if (depth == 0) return pattern;
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        return pattern;
+      } else if (c == '"') {
+        const StringLiteral* lit =
+            fm.lexed.literal_at(static_cast<int>(j + 1), col);
+        if (lit != nullptr) {
+          pattern += lit->value;
+          j = static_cast<std::size_t>(lit->end_line) - 1;
+          col = lit->end_col >= 1 ? lit->end_col - 1 : 0;  // closing quote
+        }
+      } else if (c == '+' ||
+                 std::isspace(static_cast<unsigned char>(c)) != 0) {
+        // concatenation / layout — not part of the name
+      } else {
+        add_wildcard();
+      }
+    }
+    ++j;
+    col = 0;
+  }
+  return pattern;
+}
+
+}  // namespace
+
+std::vector<MetricUse> extract_metric_uses(const FileModel& fm) {
+  std::vector<MetricUse> uses;
+  const auto& code = fm.lexed.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (const std::string_view word : kRegistrationWords) {
+      for (const std::size_t pos : word_positions(line, word)) {
+        // Only member calls on a registry object: `.counter(` / `->gauge(`.
+        const char prev = prev_nonspace(line, pos);
+        if (prev != '.' && prev != '>') continue;
+        if (next_nonspace(line, pos + word.size()) != '(') continue;
+        const std::size_t open = line.find('(', pos + word.size());
+        if (open == std::string::npos) continue;
+        std::string pattern = walk_name_argument(fm, i, open);
+        if (pattern.find_first_not_of('*') == std::string::npos) {
+          continue;  // fully dynamic name; schema rows tag these `dynamic`
+        }
+        uses.push_back(MetricUse{static_cast<int>(i + 1), std::move(pattern)});
+      }
+    }
+  }
+  return uses;
+}
+
+int glob_distance(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, kInf));
+  dp[0][0] = 0;
+  const auto relax = [&](std::size_t i, std::size_t j, int v) {
+    if (v < dp[i][j]) dp[i][j] = v;
+  };
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (std::size_t j = 0; j <= m; ++j) {
+      const int d = dp[i][j];
+      if (d >= kInf) continue;
+      if (i < n && a[i] == '*') {
+        relax(i + 1, j, d);               // star matches the empty string
+        if (j < m) relax(i, j + 1, d);    // star absorbs one more of b
+      }
+      if (j < m && b[j] == '*') {
+        relax(i, j + 1, d);
+        if (i < n) relax(i + 1, j, d);
+      }
+      if (i < n && j < m && a[i] != '*' && b[j] != '*') {
+        relax(i + 1, j + 1, d + (a[i] == b[j] ? 0 : 1));
+        relax(i + 1, j, d + 1);  // delete a[i]
+        relax(i, j + 1, d + 1);  // insert b[j]
+      }
+    }
+  }
+  return dp[n][m];
+}
+
+bool load_metric_schema(const std::string& path, MetricSchema& schema,
+                        std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error += "cannot read metric schema " + path + "\n";
+    return false;
+  }
+  schema.path = path;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find('|') == std::string::npos) continue;
+    const std::size_t tick1 = line.find('`');
+    if (tick1 == std::string::npos) continue;
+    const std::size_t tick2 = line.find('`', tick1 + 1);
+    if (tick2 == std::string::npos) continue;
+    const std::string pattern = line.substr(tick1 + 1, tick2 - tick1 - 1);
+    if (pattern.empty() || pattern.find(' ') != std::string::npos) continue;
+    SchemaEntry entry;
+    entry.pattern = pattern;
+    entry.line = lineno;
+    entry.dynamic = line.find("dynamic", tick2) != std::string::npos;
+    schema.entries.push_back(std::move(entry));
+  }
+  if (schema.entries.empty()) {
+    error += "metric schema " + path + " defines no patterns\n";
+    return false;
+  }
+  return true;
+}
+
+void run_metrics_pass(Project& project, MetricSchema& schema,
+                      std::vector<Finding>& findings) {
+  for (const FileModel& fm : project.files) {
+    if (layer_of(fm.rel) == "obs") continue;  // the registry implementation
+    for (const MetricUse& use : extract_metric_uses(fm)) {
+      bool matched = false;
+      int best_dist = std::numeric_limits<int>::max();
+      const SchemaEntry* best = nullptr;
+      for (SchemaEntry& entry : schema.entries) {
+        const int d = glob_distance(use.pattern, entry.pattern);
+        if (d == 0) {
+          entry.used = true;
+          matched = true;  // keep going: mark every compatible entry
+        } else if (d < best_dist) {
+          best_dist = d;
+          best = &entry;
+        }
+      }
+      if (matched) continue;
+      std::string message = "metric '" + use.pattern +
+                            "' is not in the schema (docs/metrics_schema.md)";
+      if (best != nullptr && best_dist <= 2) {
+        message += "; did you mean '" + best->pattern + "'?";
+      } else {
+        message +=
+            "; add a row to the schema or fix the name to an existing "
+            "pattern";
+      }
+      findings.push_back(Finding{fm.path, use.line, "metric-schema",
+                                 std::move(message), raw_snippet(fm, use.line)});
+    }
+  }
+  for (const SchemaEntry& entry : schema.entries) {
+    if (entry.used || entry.dynamic) continue;
+    findings.push_back(Finding{
+        schema.path, entry.line, "schema-unused",
+        "schema entry '" + entry.pattern +
+            "' matches no metric registered anywhere in the scanned "
+            "sources; delete the row or tag it `dynamic`",
+        entry.pattern});
+  }
+}
+
+}  // namespace ibsec::detlint

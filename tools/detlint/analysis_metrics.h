@@ -1,0 +1,70 @@
+// Metric-schema pass (rules "metric-schema" and "schema-unused").
+//
+// Every obs metric registered anywhere in src/ must fit the namespace
+// grammar committed in docs/metrics_schema.md. The pass statically extracts
+// the name expression from each registration call
+// (`registry.counter("link." + name + ".packets")` and friends), turning
+// runtime-computed parts into `*` wildcards, and checks each extracted
+// pattern against the schema's glob patterns:
+//
+//   - a pattern no schema entry can produce is reported (metric-schema),
+//     with a "did you mean" suggestion when a schema entry is within two
+//     edits — the typo case the schema exists to catch;
+//   - a schema entry no source file registers is reported (schema-unused)
+//     against the schema document itself, unless the row is tagged
+//     `dynamic` (names assembled away from the registration call).
+//
+// Two globs are compatible when their languages intersect — the extractor's
+// wildcards (unresolved prefixes) and the schema's wildcards (ids, names)
+// meet in the middle. Files in the obs/ layer (the registry implementation)
+// are exempt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis_model.h"
+#include "detlint.h"
+
+namespace ibsec::detlint {
+
+struct SchemaEntry {
+  std::string pattern;  ///< glob over metric names, e.g. "link.*.packets"
+  int line = 0;         ///< line of the table row in the schema doc
+  bool dynamic = false;  ///< name assembled away from the registration call
+  bool used = false;     ///< some source pattern matched this entry
+};
+
+struct MetricSchema {
+  std::string path;
+  std::vector<SchemaEntry> entries;
+};
+
+/// Parses the schema doc: every markdown table row whose first backtick span
+/// is a metric pattern; a literal `dynamic` anywhere else in the row tags
+/// it. Returns false (appending to `error`) when the file is unreadable or
+/// contains no entries.
+bool load_metric_schema(const std::string& path, MetricSchema& schema,
+                        std::string& error);
+
+/// One metric registration extracted from source: the name argument with
+/// runtime-computed parts collapsed to `*`.
+struct MetricUse {
+  int line = 0;
+  std::string pattern;
+};
+
+/// All registration calls (`.counter(` / `.gauge(` / `.time_accumulator(` /
+/// `.histogram(`) in one file. Pure-`*` patterns (fully dynamic names) are
+/// omitted. Exposed for tests.
+std::vector<MetricUse> extract_metric_uses(const FileModel& fm);
+
+/// Levenshtein distance generalized to globs: `*` absorbs anything for
+/// free, literal characters pay the usual edit costs. Distance 0 means the
+/// two patterns' languages intersect. Exposed for tests.
+int glob_distance(std::string_view a, std::string_view b);
+
+void run_metrics_pass(Project& project, MetricSchema& schema,
+                      std::vector<Finding>& findings);
+
+}  // namespace ibsec::detlint

@@ -1,0 +1,366 @@
+#include "analysis_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ibsec::detlint {
+
+// --- shared matching helpers -------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::size_t> word_positions(std::string_view line,
+                                        std::string_view word) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+char next_nonspace(std::string_view line, std::size_t from) {
+  for (std::size_t i = from; i < line.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(line[i]))) return line[i];
+  }
+  return '\0';
+}
+
+char prev_nonspace(std::string_view line, std::size_t before) {
+  for (std::size_t i = before; i > 0; --i) {
+    if (!std::isspace(static_cast<unsigned char>(line[i - 1]))) {
+      return line[i - 1];
+    }
+  }
+  return '\0';
+}
+
+bool is_call(std::string_view line, std::size_t pos, std::size_t word_len,
+             bool exclude_members) {
+  if (next_nonspace(line, pos + word_len) != '(') return false;
+  if (exclude_members) {
+    const char prev = prev_nonspace(line, pos);
+    if (prev == '.' || prev == '>') return false;  // obj.time( / ptr->time(
+  }
+  return true;
+}
+
+bool starts_with_include(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  if (i >= line.size() || line[i] != '#') return false;
+  ++i;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  return line.compare(i, 7, "include") == 0;
+}
+
+bool path_ends_with(std::string_view path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string first_template_arg(std::string_view line, std::size_t open) {
+  int depth = 0;
+  std::string arg;
+  for (std::size_t i = open + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '<') ++depth;
+    if (c == '>') {
+      if (depth == 0) return arg;
+      --depth;
+    }
+    if (c == ',' && depth == 0) return arg;
+    arg += c;
+  }
+  return "";
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- waiver table ------------------------------------------------------------
+
+bool AllowTable::waives(int line, std::string_view rule) {
+  bool hit = false;
+  for (AllowEntry& e : entries) {
+    if ((e.line == line || e.line == line - 1) && e.rule == rule) {
+      e.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+AllowTable parse_allows(std::string_view path, const LexedSource& lexed,
+                        std::vector<Finding>& findings) {
+  constexpr std::string_view kMarker = "IBSEC_DETLINT_ALLOW(";
+  AllowTable table;
+  for (std::size_t i = 0; i < lexed.comments.size(); ++i) {
+    const std::string& comment = lexed.comments[i];
+    std::size_t pos = 0;
+    while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+      const std::size_t open = pos + kMarker.size();
+      const std::size_t close = comment.find(')', open);
+      pos = open;
+      if (close == std::string::npos) break;
+      std::stringstream list(comment.substr(open, close - open));
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        const std::string rule = trim(token);
+        if (rule.empty()) continue;
+        if (is_known_rule(rule)) {
+          table.entries.push_back(AllowEntry{static_cast<int>(i + 1), rule,
+                                             trim(comment), /*used=*/false});
+        } else {
+          findings.push_back(Finding{
+              std::string(path), static_cast<int>(i + 1), "bad-allow",
+              "unknown rule '" + rule + "' in IBSEC_DETLINT_ALLOW",
+              trim(comment)});
+        }
+      }
+    }
+  }
+  return table;
+}
+
+// --- per-file model ----------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> split_lines(std::string_view content) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= content.size(); ++i) {
+    if (i == content.size() || content[i] == '\n') {
+      lines.emplace_back(content.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+/// Path below the last `src` component, '/'-separated; empty when the path
+/// has no `src` component (the layering pass then skips the file).
+std::string src_relative(std::string_view path) {
+  std::string norm(path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  std::size_t best = std::string::npos;
+  std::size_t pos = 0;
+  while ((pos = norm.find("src/", pos)) != std::string::npos) {
+    if (pos == 0 || norm[pos - 1] == '/') best = pos;
+    pos += 4;
+  }
+  if (best == std::string::npos) return "";
+  return norm.substr(best + 4);
+}
+
+/// Brace-matches the body after each IBSEC_HOT token. Preprocessor lines are
+/// skipped so the `#define IBSEC_HOT` in common/annotations.h is not itself
+/// an annotation.
+std::vector<HotRegion> find_hot_regions(const LexedSource& lexed) {
+  std::vector<HotRegion> regions;
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    const std::string& line = lexed.code[i];
+    if (next_nonspace(line, 0) == '#') continue;
+    for (const std::size_t pos : word_positions(line, "IBSEC_HOT")) {
+      HotRegion region;
+      region.hot_line = static_cast<int>(i + 1);
+      // Scan forward for the body's '{' at paren depth 0. A ';' first means
+      // this is a declaration — no body here to check.
+      int paren_depth = 0;
+      int brace_depth = 0;
+      bool found_body = false;
+      bool done = false;
+      std::size_t col = pos + 9;  // just past "IBSEC_HOT"
+      for (std::size_t j = i; j < lexed.code.size() && !done; ++j) {
+        const std::string& scan = lexed.code[j];
+        for (; col < scan.size() && !done; ++col) {
+          const char c = scan[col];
+          if (c == '(') ++paren_depth;
+          if (c == ')') --paren_depth;
+          if (!found_body && c == ';' && paren_depth == 0) done = true;
+          // Before the body opens, a '{' only counts at paren depth 0 (a
+          // brace inside an argument list is a default-argument braced init,
+          // not the body). Once inside the body every brace counts, else a
+          // braced init inside parens — IBSEC_CHECK(x < uint64_t{1} << n) —
+          // would unbalance the match and truncate the region.
+          if (c == '{' && (found_body || paren_depth == 0)) {
+            if (!found_body) {
+              found_body = true;
+              region.begin_line = static_cast<int>(j + 1);
+            }
+            ++brace_depth;
+          }
+          if (c == '}' && found_body) {
+            --brace_depth;
+            if (brace_depth == 0) {
+              region.end_line = static_cast<int>(j + 1);
+              done = true;
+            }
+          }
+        }
+        col = 0;
+      }
+      if (found_body && region.end_line >= region.begin_line) {
+        regions.push_back(region);
+      }
+    }
+  }
+  return regions;
+}
+
+/// Quoted #include targets. The quoted path is a string literal, so its text
+/// lives in the literal table, not the blanked code view.
+std::vector<IncludeDirective> find_includes(const LexedSource& lexed) {
+  std::vector<IncludeDirective> includes;
+  for (const StringLiteral& lit : lexed.strings) {
+    const std::size_t idx = static_cast<std::size_t>(lit.line) - 1;
+    if (idx >= lexed.code.size()) continue;
+    if (!starts_with_include(lexed.code[idx])) continue;
+    includes.push_back(IncludeDirective{lit.line, lit.value});
+  }
+  return includes;
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+}  // namespace
+
+FileModel build_file_model(std::string path, std::string_view content,
+                           std::vector<Finding>& findings) {
+  FileModel fm;
+  fm.path = std::move(path);
+  fm.rel = src_relative(fm.path);
+  fm.raw_lines = split_lines(content);
+  fm.lexed = lex_source(content);
+  fm.allows = parse_allows(fm.path, fm.lexed, findings);
+  fm.hot_regions = find_hot_regions(fm.lexed);
+  fm.includes = find_includes(fm.lexed);
+  return fm;
+}
+
+FileModel* Project::find_by_rel(std::string_view rel) {
+  for (FileModel& fm : files) {
+    if (fm.rel == rel) return &fm;
+  }
+  return nullptr;
+}
+
+bool load_project(const std::vector<std::string>& paths, Project& project,
+                  std::vector<Finding>& findings, std::string& error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  bool ok = true;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(path, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+      error += "no such file or directory: " + path + "\n";
+      ok = false;
+      continue;
+    }
+    if (fs::is_regular_file(st)) {
+      files.push_back(path);
+      continue;
+    }
+    // Directory: collect then sort, so output order never depends on the
+    // directory iteration order the OS happens to produce.
+    std::vector<std::string> dir_files;
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (entry.is_regular_file() && lintable_extension(entry.path())) {
+        dir_files.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      error += "walking " + path + ": " + ec.message() + "\n";
+      ok = false;
+      continue;
+    }
+    std::sort(dir_files.begin(), dir_files.end());
+    files.insert(files.end(), dir_files.begin(), dir_files.end());
+  }
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      error += "cannot read " + f + "\n";
+      ok = false;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    project.files.push_back(build_file_model(f, buf.str(), findings));
+  }
+  return ok;
+}
+
+// --- layer map ---------------------------------------------------------------
+
+int layer_rank(std::string_view layer) {
+  // The dependency DAG, bottom up. obs sits below sim (the simulator owns a
+  // metrics registry); workload and analytic are sibling leaves that must
+  // not include each other.
+  if (layer == "common") return 0;
+  if (layer == "crypto") return 1;
+  if (layer == "ib") return 2;
+  if (layer == "obs") return 3;
+  if (layer == "sim") return 4;
+  if (layer == "fabric") return 5;
+  if (layer == "transport") return 6;
+  if (layer == "security") return 7;
+  if (layer == "workload") return 8;
+  if (layer == "analytic") return 8;
+  return -1;
+}
+
+std::string_view layer_of(std::string_view rel) {
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string_view::npos) return std::string_view();
+  return rel.substr(0, slash);
+}
+
+}  // namespace ibsec::detlint

@@ -1,0 +1,126 @@
+// Cross-file project model shared by every detlint analysis pass.
+//
+// A FileModel is one translation unit lexed and pre-digested: raw lines for
+// snippets, the blanked code view, the ALLOW-waiver table (with usage
+// tracking so the unused-allow pass can report waivers that no longer
+// suppress anything), IBSEC_HOT regions, and quoted #include targets. A
+// Project is every file reachable from the CLI paths, in sorted order — the
+// analyzer itself is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis_lex.h"
+#include "detlint.h"
+
+namespace ibsec::detlint {
+
+// --- shared matching helpers (used by detlint.cpp and the passes) ------------
+
+bool is_ident_char(char c);
+
+/// All positions where `word` occurs with non-identifier chars on both sides.
+std::vector<std::size_t> word_positions(std::string_view line,
+                                        std::string_view word);
+char next_nonspace(std::string_view line, std::size_t from);
+char prev_nonspace(std::string_view line, std::size_t before);
+
+/// True when the word at `pos` is used as a call: `word(`. `exclude_members`
+/// keeps member accesses (`sim.time(`, `q->time(`) out of scope.
+bool is_call(std::string_view line, std::size_t pos, std::size_t word_len,
+             bool exclude_members);
+
+bool starts_with_include(std::string_view line);
+bool path_ends_with(std::string_view path, std::string_view suffix);
+std::string trim(std::string_view s);
+
+/// First template argument after `line[open]` == '<'; empty when it spans
+/// past the end of the line (multi-line declarations are out of scope).
+std::string first_template_arg(std::string_view line, std::size_t open);
+
+std::string json_escape(std::string_view s);
+
+// --- waiver table ------------------------------------------------------------
+
+/// One rule named by an IBSEC_DETLINT_ALLOW directive — one entry per rule,
+/// so a multi-rule ALLOW can be partially stale.
+struct AllowEntry {
+  int line = 0;  ///< 1-based line the directive's comment sits on
+  std::string rule;
+  std::string snippet;  ///< the directive comment, trimmed
+  bool used = false;    ///< set once the entry waives at least one finding
+};
+
+struct AllowTable {
+  std::vector<AllowEntry> entries;
+
+  /// True when an entry on `line` or `line - 1` names `rule`; marks every
+  /// such entry used (waiver-rot accounting for the unused-allow pass).
+  bool waives(int line, std::string_view rule);
+};
+
+/// Extracts ALLOW directives from the comment view. Unknown rule names are
+/// reported as `bad-allow` findings (typos must not silently waive).
+AllowTable parse_allows(std::string_view path, const LexedSource& lexed,
+                        std::vector<Finding>& findings);
+
+// --- per-file model ----------------------------------------------------------
+
+/// One function body annotated IBSEC_HOT: the brace-matched region after the
+/// annotation token. A declaration (`;` before any `{`) produces no region.
+struct HotRegion {
+  int hot_line = 0;    ///< line of the IBSEC_HOT token
+  int begin_line = 0;  ///< line of the body's opening '{'
+  int end_line = 0;    ///< line of the matching '}'
+};
+
+/// A quoted #include directive (`#include "fabric/link.h"`). Angle-bracket
+/// includes are system headers and out of layering scope.
+struct IncludeDirective {
+  int line = 0;
+  std::string target;  ///< path between the quotes, verbatim
+};
+
+struct FileModel {
+  std::string path;      ///< as given on the command line / walked
+  std::string rel;       ///< path below the nearest `src/` component
+                         ///< ('/'-separated), or empty when not under one
+  std::vector<std::string> raw_lines;  ///< original source, split on '\n'
+  LexedSource lexed;
+  AllowTable allows;
+  std::vector<HotRegion> hot_regions;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Lexes `content` and fills every derived view. bad-allow findings are
+/// appended to `findings` immediately (they are not waivable).
+FileModel build_file_model(std::string path, std::string_view content,
+                           std::vector<Finding>& findings);
+
+struct Project {
+  std::vector<FileModel> files;
+
+  FileModel* find_by_rel(std::string_view rel);
+};
+
+/// Loads every C++ source reachable from `paths` (files, or directories
+/// walked recursively in sorted order). Returns false and appends to `error`
+/// when a path is missing or unreadable.
+bool load_project(const std::vector<std::string>& paths, Project& project,
+                  std::vector<Finding>& findings, std::string& error);
+
+// --- layer map ---------------------------------------------------------------
+
+/// Rank of a layer directory in the dependency DAG (lower may not include
+/// higher; equal ranks of *different* layers may not include each other).
+/// Returns -1 for directories that are not a layer (tests, tools, fixtures).
+int layer_rank(std::string_view layer);
+
+/// First path component of a src-relative path ("fabric/link.h" -> "fabric");
+/// empty when there is none.
+std::string_view layer_of(std::string_view rel);
+
+}  // namespace ibsec::detlint

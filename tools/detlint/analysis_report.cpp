@@ -1,0 +1,120 @@
+#include "analysis_report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "analysis_model.h"
+
+namespace ibsec::detlint {
+namespace {
+
+constexpr std::string_view kBaselineHeader = "# detlint baseline v1";
+
+std::string sarif_uri(std::string_view path) {
+  std::string uri(path);
+  std::replace(uri.begin(), uri.end(), '\\', '/');
+  while (uri.rfind("./", 0) == 0) uri.erase(0, 2);
+  return uri;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"detlint\",\"informationUri\":"
+         "\"https://example.invalid/detlint\",\"rules\":[";
+  const auto& table = rules();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"id\":\"" << json_escape(table[i].name)
+        << "\",\"shortDescription\":{\"text\":\""
+        << json_escape(table[i].summary) << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ",";
+    out << "{\"ruleId\":\"" << json_escape(f.rule)
+        << "\",\"level\":\"error\",\"message\":{\"text\":\""
+        << json_escape(f.message) << "\"},\"locations\":[{"
+        << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+        << json_escape(sarif_uri(f.file))
+        << "\"},\"region\":{\"startLine\":" << std::max(f.line, 1)
+        << "}}}]}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+std::string baseline_key(const Finding& f) {
+  // Tab-separated with escaped fields, so snippets containing tabs or
+  // newlines cannot forge field boundaries.
+  return json_escape(f.rule) + "\t" + json_escape(f.file) + "\t" +
+         json_escape(f.snippet);
+}
+
+std::string to_baseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(baseline_key(f));
+  std::sort(keys.begin(), keys.end());
+  std::string out(kBaselineHeader);
+  out += "\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += "\n";
+  }
+  return out;
+}
+
+bool load_baseline(const std::string& path, std::vector<std::string>& keys,
+                   std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error += "cannot read baseline " + path + "\n";
+    return false;
+  }
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first) {
+      first = false;
+      if (line != kBaselineHeader) {
+        error += path + " is not a detlint baseline (bad header)\n";
+        return false;
+      }
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    keys.push_back(line);
+  }
+  if (first) {
+    error += path + " is not a detlint baseline (empty file)\n";
+    return false;
+  }
+  return true;
+}
+
+std::vector<Finding> filter_new_findings(const std::vector<Finding>& findings,
+                                         const std::vector<std::string>& keys) {
+  std::map<std::string, int> budget;
+  for (const std::string& k : keys) ++budget[k];
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    auto it = budget.find(baseline_key(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(f);
+  }
+  return fresh;
+}
+
+}  // namespace ibsec::detlint

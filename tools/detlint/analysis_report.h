@@ -1,0 +1,37 @@
+// Report emitters beyond text/json: SARIF 2.1.0 for GitHub code scanning,
+// and the baseline format that lets CI gate on *new* findings only.
+//
+// Baseline identity is (rule, file, snippet) — deliberately line-insensitive,
+// so unrelated edits that shift a known finding up or down the file do not
+// resurface it as "new". The file is line-oriented and sorted; it diffs
+// cleanly and merges like any other committed text file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace ibsec::detlint {
+
+/// SARIF 2.1.0 with one run, detlint as the driver, every known rule in the
+/// rule table, and one error-level result per finding.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// Stable identity of a finding for baseline comparison.
+std::string baseline_key(const Finding& f);
+
+/// Serializes findings as a baseline file (sorted keys, one per line).
+std::string to_baseline(const std::vector<Finding>& findings);
+
+/// Loads a baseline file's keys. Returns false (appending to `error`) when
+/// the file is unreadable or its header is not a detlint baseline.
+bool load_baseline(const std::string& path, std::vector<std::string>& keys,
+                   std::string& error);
+
+/// Findings not covered by the baseline, multiset-style: two identical
+/// findings are both suppressed only if the baseline recorded two.
+std::vector<Finding> filter_new_findings(const std::vector<Finding>& findings,
+                                         const std::vector<std::string>& keys);
+
+}  // namespace ibsec::detlint

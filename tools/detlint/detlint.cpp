@@ -1,215 +1,17 @@
 #include "detlint.h"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
+#include <map>
 #include <sstream>
+
+#include "analysis_hotpath.h"
+#include "analysis_layering.h"
+#include "analysis_lex.h"
+#include "analysis_metrics.h"
+#include "analysis_model.h"
 
 namespace ibsec::detlint {
 namespace {
-
-// --- lexing ------------------------------------------------------------------
-// Splits a translation unit into parallel per-line views: `code` with
-// comment and string/char-literal contents blanked to spaces (so rule
-// patterns never match prose or log text), and `comments` holding only the
-// comment text (so ALLOW markers are found nowhere else).
-struct LexedFile {
-  std::vector<std::string> code;
-  std::vector<std::string> comments;
-};
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-LexedFile lex(std::string_view src) {
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  LexedFile out;
-  std::string code_line;
-  std::string comment_line;
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-
-  auto flush_line = [&] {
-    out.code.push_back(std::move(code_line));
-    out.comments.push_back(std::move(comment_line));
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw-string literal? The '"' directly follows an R (possibly a
-          // uR/u8R/LR prefix); the delimiter runs up to the '('.
-          const bool raw = !code_line.empty() && code_line.back() == 'R' &&
-                           (code_line.size() < 2 ||
-                            !is_ident(code_line[code_line.size() - 2]) ||
-                            code_line[code_line.size() - 2] == '8' ||
-                            code_line[code_line.size() - 2] == 'u' ||
-                            code_line[code_line.size() - 2] == 'U' ||
-                            code_line[code_line.size() - 2] == 'L');
-          code_line += ' ';
-          if (raw) {
-            raw_delim.clear();
-            std::size_t j = i + 1;
-            while (j < src.size() && src[j] != '(' && src[j] != '\n') {
-              raw_delim += src[j];
-              ++j;
-            }
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'' &&
-                   (code_line.empty() || !is_ident(code_line.back()))) {
-          // Ident-adjacent quotes are digit separators (1'000'000).
-          code_line += ' ';
-          state = State::kChar;
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          code_line += ' ';
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kRawString: {
-        // Ends at )delim" — look ahead without consuming past it.
-        const std::string close = ")" + raw_delim + "\"";
-        if (src.compare(i, close.size(), close) == 0) {
-          for (std::size_t k = 0; k < close.size(); ++k) code_line += ' ';
-          i += close.size() - 1;
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      }
-    }
-  }
-  flush_line();
-  return out;
-}
-
-// --- matching helpers --------------------------------------------------------
-
-/// All positions where `word` occurs with non-identifier chars on both sides.
-std::vector<std::size_t> word_positions(std::string_view line,
-                                        std::string_view word) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = line.find(word, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !is_ident(line[end]);
-    if (left_ok && right_ok) hits.push_back(pos);
-    pos = end;
-  }
-  return hits;
-}
-
-char next_nonspace(std::string_view line, std::size_t from) {
-  for (std::size_t i = from; i < line.size(); ++i) {
-    if (!std::isspace(static_cast<unsigned char>(line[i]))) return line[i];
-  }
-  return '\0';
-}
-
-char prev_nonspace(std::string_view line, std::size_t before) {
-  for (std::size_t i = before; i > 0; --i) {
-    if (!std::isspace(static_cast<unsigned char>(line[i - 1]))) {
-      return line[i - 1];
-    }
-  }
-  return '\0';
-}
-
-/// True when the word at `pos` is used as a call: `word(`. `member_ok`
-/// keeps member accesses (`sim.time(`, `q->time(`) out of scope — those are
-/// the simulator's own clock, not libc's.
-bool is_call(std::string_view line, std::size_t pos, std::size_t word_len,
-             bool exclude_members) {
-  if (next_nonspace(line, pos + word_len) != '(') return false;
-  if (exclude_members) {
-    const char prev = prev_nonspace(line, pos);
-    if (prev == '.' || prev == '>') return false;  // obj.time( / ptr->time(
-  }
-  return true;
-}
-
-bool starts_with_include(std::string_view line) {
-  std::size_t i = 0;
-  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
-    ++i;
-  }
-  if (i >= line.size() || line[i] != '#') return false;
-  ++i;
-  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
-    ++i;
-  }
-  return line.compare(i, 7, "include") == 0;
-}
-
-bool path_ends_with(std::string_view path, std::string_view suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-std::string trim(std::string_view s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return std::string(s.substr(b, e - b));
-}
 
 // --- rules -------------------------------------------------------------------
 
@@ -219,6 +21,11 @@ constexpr std::string_view kWallClock = "wall-clock";
 constexpr std::string_view kPointerKeyed = "pointer-keyed-container";
 constexpr std::string_view kRawAssert = "raw-assert";
 constexpr std::string_view kHotFunction = "hot-function";
+constexpr std::string_view kHotAlloc = "hot-alloc";
+constexpr std::string_view kLayering = "layering";
+constexpr std::string_view kMetricSchema = "metric-schema";
+constexpr std::string_view kSchemaUnused = "schema-unused";
+constexpr std::string_view kUnusedAllow = "unused-allow";
 constexpr std::string_view kBadAllow = "bad-allow";
 
 const std::vector<RuleInfo>& rule_table() {
@@ -241,77 +48,26 @@ const std::vector<RuleInfo>& rule_table() {
       {kHotFunction,
        "std::function in a sim/ or fabric/ header heap-allocates on the "
        "per-event path; use sim::InlineFunction (sim/inline_function.h)"},
+      {kHotAlloc,
+       "allocation inside an IBSEC_HOT region (new, make_unique/shared, "
+       "std::function, node container, unreserved push_back, std::string "
+       "temporary); the hot path has a zero-allocation budget"},
+      {kLayering,
+       "include points up the layer DAG or forms a cycle; dependencies flow "
+       "common->crypto->ib->obs->sim->fabric->transport->security->"
+       "workload/analytic"},
+      {kMetricSchema,
+       "registered obs metric name that no docs/metrics_schema.md pattern "
+       "can produce (typos get a did-you-mean suggestion)"},
+      {kSchemaUnused,
+       "docs/metrics_schema.md row that no scanned source registers; delete "
+       "it or tag it dynamic"},
+      {kUnusedAllow,
+       "IBSEC_DETLINT_ALLOW directive that suppresses nothing; delete the "
+       "stale waiver"},
       {kBadAllow, "IBSEC_DETLINT_ALLOW names a rule detlint does not have"},
   };
   return kRules;
-}
-
-struct AllowTable {
-  // allowed[i] holds the rules waived on 1-based line i+1.
-  std::vector<std::vector<std::string>> allowed;
-
-  bool waives(int line, std::string_view rule) const {
-    for (const int l : {line, line - 1}) {
-      if (l < 1 || static_cast<std::size_t>(l) > allowed.size()) continue;
-      const auto& rules_on_line = allowed[static_cast<std::size_t>(l) - 1];
-      if (std::find(rules_on_line.begin(), rules_on_line.end(), rule) !=
-          rules_on_line.end()) {
-        return true;
-      }
-    }
-    return false;
-  }
-};
-
-AllowTable parse_allows(std::string_view path, const LexedFile& lexed,
-                        std::vector<Finding>& findings) {
-  constexpr std::string_view kMarker = "IBSEC_DETLINT_ALLOW(";
-  AllowTable table;
-  table.allowed.resize(lexed.comments.size());
-  for (std::size_t i = 0; i < lexed.comments.size(); ++i) {
-    const std::string& comment = lexed.comments[i];
-    std::size_t pos = 0;
-    while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
-      const std::size_t open = pos + kMarker.size();
-      const std::size_t close = comment.find(')', open);
-      pos = open;
-      if (close == std::string::npos) break;
-      std::stringstream list(comment.substr(open, close - open));
-      std::string token;
-      while (std::getline(list, token, ',')) {
-        const std::string rule = trim(token);
-        if (rule.empty()) continue;
-        if (is_known_rule(rule)) {
-          table.allowed[i].push_back(rule);
-        } else {
-          findings.push_back(Finding{
-              std::string(path), static_cast<int>(i + 1),
-              std::string(kBadAllow),
-              "unknown rule '" + rule + "' in IBSEC_DETLINT_ALLOW",
-              trim(comment)});
-        }
-      }
-    }
-  }
-  return table;
-}
-
-/// First template argument after `line[open]` == '<'; empty when it spans
-/// past the end of the line (multi-line declarations are out of scope).
-std::string first_template_arg(std::string_view line, std::size_t open) {
-  int depth = 0;
-  std::string arg;
-  for (std::size_t i = open + 1; i < line.size(); ++i) {
-    const char c = line[i];
-    if (c == '<') ++depth;
-    if (c == '>') {
-      if (depth == 0) return arg;
-      --depth;
-    }
-    if (c == ',' && depth == 0) return arg;
-    arg += c;
-  }
-  return "";
 }
 
 void scan_line(std::string_view path, std::string_view line, int lineno,
@@ -449,47 +205,15 @@ void scan_line(std::string_view path, std::string_view line, int lineno,
   }
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+/// All line rules over one file model, unwaived (the caller filters).
+void run_line_rules(const FileModel& fm, std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < fm.lexed.code.size(); ++i) {
+    const std::string_view raw =
+        i < fm.raw_lines.size() ? std::string_view(fm.raw_lines[i])
+                                : std::string_view();
+    scan_line(fm.path, fm.lexed.code[i], static_cast<int>(i + 1), raw,
+              findings);
   }
-  return out;
-}
-
-bool lintable_extension(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
-         ext == ".cxx";
-}
-
-bool scan_file(const std::string& path, std::vector<Finding>& findings,
-               std::string& error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    error += "cannot read " + path + "\n";
-    return false;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const auto file_findings = scan_source(path, buf.str());
-  findings.insert(findings.end(), file_findings.begin(), file_findings.end());
-  return true;
 }
 
 }  // namespace
@@ -505,28 +229,14 @@ bool is_known_rule(std::string_view name) {
 
 std::vector<Finding> scan_source(std::string_view path,
                                  std::string_view content) {
-  const LexedFile lexed = lex(content);
   std::vector<Finding> findings;
-  const AllowTable allows = parse_allows(path, lexed, findings);
-
-  // Raw lines for snippets (code lines have literals blanked).
-  std::vector<std::string_view> raw_lines;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= content.size(); ++i) {
-    if (i == content.size() || content[i] == '\n') {
-      raw_lines.push_back(content.substr(start, i - start));
-      start = i + 1;
-    }
-  }
+  FileModel fm = build_file_model(std::string(path), content, findings);
 
   std::vector<Finding> hits;
-  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
-    const std::string_view raw =
-        i < raw_lines.size() ? raw_lines[i] : std::string_view();
-    scan_line(path, lexed.code[i], static_cast<int>(i + 1), raw, hits);
-  }
+  run_line_rules(fm, hits);
+  run_hotpath_pass(fm, hits);
   for (Finding& f : hits) {
-    if (!allows.waives(f.line, f.rule)) findings.push_back(std::move(f));
+    if (!fm.allows.waives(f.line, f.rule)) findings.push_back(std::move(f));
   }
   sort_findings(findings);
   return findings;
@@ -534,30 +244,61 @@ std::vector<Finding> scan_source(std::string_view path,
 
 bool scan_path(const std::string& path, std::vector<Finding>& findings,
                std::string& error) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  const fs::file_status st = fs::status(path, ec);
-  if (ec || st.type() == fs::file_type::not_found) {
-    error += "no such file or directory: " + path + "\n";
-    return false;
-  }
-  if (fs::is_regular_file(st)) return scan_file(path, findings, error);
-
-  // Directory: collect then sort, so output order never depends on the
-  // directory iteration order the OS happens to produce.
-  std::vector<std::string> files;
-  for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
-    if (entry.is_regular_file() && lintable_extension(entry.path())) {
-      files.push_back(entry.path().string());
+  Project project;
+  bool ok = load_project({path}, project, findings, error);
+  for (FileModel& fm : project.files) {
+    std::vector<Finding> hits;
+    run_line_rules(fm, hits);
+    run_hotpath_pass(fm, hits);
+    for (Finding& f : hits) {
+      if (!fm.allows.waives(f.line, f.rule)) findings.push_back(std::move(f));
     }
   }
-  if (ec) {
-    error += "walking " + path + ": " + ec.message() + "\n";
-    return false;
+  return ok;
+}
+
+bool analyze_project(const AnalyzerOptions& options,
+                     std::vector<Finding>& findings, std::string& error) {
+  Project project;
+  bool ok = load_project(options.paths, project, findings, error);
+
+  std::vector<Finding> hits;
+  for (FileModel& fm : project.files) {
+    run_line_rules(fm, hits);
+    run_hotpath_pass(fm, hits);
   }
-  std::sort(files.begin(), files.end());
-  bool ok = true;
-  for (const std::string& f : files) ok = scan_file(f, findings, error) && ok;
+  run_layering_pass(project, hits);
+  if (!options.schema_path.empty()) {
+    MetricSchema schema;
+    if (load_metric_schema(options.schema_path, schema, error)) {
+      run_metrics_pass(project, schema, hits);
+    } else {
+      ok = false;
+    }
+  }
+
+  // Waiver filter — also the usage accounting the unused-allow pass reads.
+  std::map<std::string, FileModel*> by_path;
+  for (FileModel& fm : project.files) by_path[fm.path] = &fm;
+  for (Finding& f : hits) {
+    const auto it = by_path.find(f.file);
+    if (it != by_path.end() && it->second->allows.waives(f.line, f.rule)) {
+      continue;
+    }
+    findings.push_back(std::move(f));
+  }
+  for (const FileModel& fm : project.files) {
+    for (const AllowEntry& e : fm.allows.entries) {
+      if (e.used) continue;
+      findings.push_back(Finding{
+          fm.path, e.line, std::string(kUnusedAllow),
+          "IBSEC_DETLINT_ALLOW(" + e.rule +
+              ") waives nothing on this or the next line; delete the stale "
+              "waiver (or fix the rule name if a finding was expected)",
+          e.snippet});
+    }
+  }
+  sort_findings(findings);
   return ok;
 }
 

@@ -1,10 +1,13 @@
-// detlint — the repo's determinism linter.
+// detlint — the repo's determinism and contract analyzer.
 //
-// The simulator's headline guarantee is byte-identical replay: the same
-// (topology, seed) produces the same event trace, metrics snapshot, and
-// experiment tables on any host, at any sweep worker count. test_determinism
-// checks that end-to-end; detlint enforces it at the source level by
-// scanning src/ for the constructs that historically break it:
+// The simulator's headline guarantees are byte-identical replay, a
+// zero-allocation event loop, and a strictly layered dependency DAG.
+// test_determinism, the alloc-probe bench gate, and the build check each of
+// those end-to-end; detlint enforces them at the source level, before a
+// violation is ever built and run.
+//
+// Single-file line rules (the original linter, still available through
+// scan_source/scan_path):
 //
 //   unordered-container      std::unordered_map / std::unordered_set (and
 //                            multi variants): hash iteration order is
@@ -29,20 +32,43 @@
 //                            those layers run per event / per packet, and
 //                            std::function's type erasure heap-allocates for
 //                            captures over its tiny SSO buffer. Use
-//                            sim::InlineFunction (sim/inline_function.h),
-//                            which asserts captures fit inline. Not a
-//                            determinism rule, but the hot-path allocation
-//                            contract is policed the same way.
+//                            sim::InlineFunction (sim/inline_function.h).
+//   hot-alloc                allocation inside a function annotated
+//                            IBSEC_HOT (common/annotations.h): new,
+//                            make_unique/make_shared, std::function,
+//                            node-based containers, unreserved push_back,
+//                            std::string temporaries. The static face of the
+//                            alloc-probe contract; see analysis_hotpath.h.
+//   bad-allow                IBSEC_DETLINT_ALLOW naming an unknown rule, so
+//                            typos cannot silently waive everything.
+//
+// Cross-file passes (analyze_project; the CLI always runs them):
+//
+//   layering                 a quoted #include pointing up the layer DAG
+//                            (common→crypto→ib→obs→sim→fabric→transport→
+//                            security→workload/analytic), or an include
+//                            cycle between files (reported with the full
+//                            edge chain). See analysis_layering.h.
+//   metric-schema            an obs metric registered in src/ whose name no
+//                            pattern in docs/metrics_schema.md can produce
+//                            (with a "did you mean" suggestion for near-miss
+//                            typos). See analysis_metrics.h.
+//   schema-unused            a schema row no scanned source registers —
+//                            schema rot, the doc-side mirror of
+//                            metric-schema.
+//   unused-allow             an IBSEC_DETLINT_ALLOW directive that waives
+//                            nothing anymore — waiver rot; delete it.
 //
 // Suppression grammar: a comment naming one or more rules (comma-separated)
 // on the same line as the finding, or on the line directly above, waives it:
 //
 //   // IBSEC_DETLINT_ALLOW(wall-clock)  benchmark harness, not sim state
 //   // IBSEC_DETLINT_ALLOW(raw-rand, wall-clock)
+//   // IBSEC_DETLINT_ALLOW(hot-alloc)  amortized pool growth
 //
-// Naming an unknown rule is itself reported (rule "bad-allow") so typos
-// cannot silently waive everything. Comments and string literals are
-// lexed away before matching, so prose mentioning unordered_map is fine.
+// Comments and string literals are lexed away before matching (raw strings
+// and backslash line continuations included), so prose mentioning
+// unordered_map is fine.
 #pragma once
 
 #include <string>
@@ -70,18 +96,36 @@ struct RuleInfo {
 const std::vector<RuleInfo>& rules();
 bool is_known_rule(std::string_view name);
 
-/// Scans one translation unit. `path` is used for exemptions (common/rng.*
+/// Scans one translation unit with the single-file rules (line rules plus
+/// the IBSEC_HOT region pass). `path` is used for exemptions (common/rng.*
 /// may use raw randomness; common/check.h may discuss assert) and for the
-/// findings' file field; `content` is the full source text.
+/// findings' file field; `content` is the full source text. Cross-file
+/// passes (layering, metric-schema, unused-allow) need a whole project and
+/// run only under analyze_project.
 std::vector<Finding> scan_source(std::string_view path,
                                  std::string_view content);
 
 /// Scans a file, or every *.h/*.hpp/*.cpp/*.cc/*.cxx under a directory
-/// (recursively, in sorted path order — the linter is itself deterministic).
-/// Returns false when `path` does not exist or a file cannot be read; an
-/// explanation is appended to `error`.
+/// (recursively, in sorted path order — the linter is itself deterministic),
+/// with the single-file rules. Returns false when `path` does not exist or
+/// a file cannot be read; an explanation is appended to `error`.
 bool scan_path(const std::string& path, std::vector<Finding>& findings,
                std::string& error);
+
+/// Options for the full multi-pass analysis.
+struct AnalyzerOptions {
+  std::vector<std::string> paths;  ///< files and/or directories to load
+  std::string schema_path;  ///< docs/metrics_schema.md; empty skips the
+                            ///< metric-schema and schema-unused passes
+};
+
+/// Runs every pass over the whole project: single-file rules, IBSEC_HOT
+/// regions, layering DAG + include cycles, metric schema (when
+/// `schema_path` is set), then waiver accounting (unused-allow). Findings
+/// are appended sorted. Returns false when a path or the schema cannot be
+/// read; an explanation is appended to `error`.
+bool analyze_project(const AnalyzerOptions& options,
+                     std::vector<Finding>& findings, std::string& error);
 
 /// Sorts findings by (file, line, rule) — the canonical output order.
 void sort_findings(std::vector<Finding>& findings);
