@@ -58,13 +58,21 @@ void usage(const char* prog) {
       "link=sw1.out3:drop=0.5;flap=sw1.out3:100us-300us;dead-switch=5'\n"
       "  --rc-load F          RC message load fraction; enables the RC\n"
       "                       reliability protocol and streams (default off)\n"
-      "  --trace FILE         write a Chrome trace_event JSON (open in Perfetto)\n"
+      "  --trace[=FILE]       write a Chrome trace_event JSON (open in\n"
+      "                       Perfetto); FILE defaults to trace.json\n"
       "  --trace-sample N     trace every Nth packet (default 1 = every packet)\n"
       "  --breakdown FILE     write the per-packet latency-breakdown CSV\n"
-      "  --timeseries FILE    write the fixed-dt counter/gauge time-series CSV\n"
+      "  --timeseries[=FILE]  write the fixed-dt counter/gauge time-series\n"
+      "                       CSV; FILE defaults to timeseries.csv\n"
       "  --timeseries-dt NS   time-series bucket width in ns (default 10000)\n"
+      "  --audit[=FILE]       write the security audit event log (JSONL, see\n"
+      "                       docs/audit_schema.md); FILE defaults to\n"
+      "                       audit.jsonl\n"
       "  --packet-csv FILE    write the per-packet delivery CSV\n"
-      "  --metrics FILE       dump the metrics snapshot (.json = JSON, else CSV)\n",
+      "  --metrics FILE       dump the metrics snapshot (.json = JSON, else CSV)\n"
+      "\n"
+      "  --trace/--timeseries/--audit accept their output path uniformly as\n"
+      "  '--flag=FILE', '--flag FILE', or bare '--flag' (documented default).\n",
       prog);
 }
 
@@ -89,6 +97,7 @@ int main(int argc, char** argv) {
   std::string chrome_trace_path;
   std::string breakdown_path;
   std::string timeseries_path;
+  std::string audit_path;
   std::string metrics_path;
   workload::ScenarioConfig cfg;
   cfg.seed = 1;
@@ -104,6 +113,27 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    // Output flags taking an optional path, uniformly: '--flag=FILE',
+    // '--flag FILE' (a following token not starting with "--"), or bare
+    // '--flag' (the documented default). Returns false on no match, so
+    // longer flags sharing the prefix ("--trace-sample") fall through.
+    const auto optional_path = [&](const char* flag, const char* fallback,
+                                   std::string& out) -> bool {
+      const std::size_t flen = std::strlen(flag);
+      if (arg.compare(0, flen, flag) != 0) return false;
+      if (arg.size() == flen) {
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          out = argv[++i];
+        } else {
+          out = fallback;
+        }
+        return true;
+      }
+      if (arg[flen] != '=') return false;
+      out = arg.substr(flen + 1);
+      if (out.empty()) out = fallback;
+      return true;
     };
     double value = 0;
     if (arg == "--help" || arg == "-h") {
@@ -203,8 +233,7 @@ int main(int argc, char** argv) {
       cfg.rc_load = value;
       cfg.enable_rc_messages = value > 0;
       cfg.rc.enabled = value > 0;
-    } else if (arg == "--trace") {
-      chrome_trace_path = next();
+    } else if (optional_path("--trace", "trace.json", chrome_trace_path)) {
       cfg.trace.enabled = true;
     } else if (arg == "--trace-sample") {
       cfg.trace.sample_every = std::strtoull(next(), nullptr, 10);
@@ -212,11 +241,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--breakdown") {
       breakdown_path = next();
       cfg.trace.enabled = true;
-    } else if (arg == "--timeseries") {
-      timeseries_path = next();
+    } else if (optional_path("--timeseries", "timeseries.csv",
+                             timeseries_path)) {
       if (cfg.timeseries_dt == 0) {
         cfg.timeseries_dt = 10 * time_literals::kMicrosecond;
       }
+    } else if (optional_path("--audit", "audit.jsonl", audit_path)) {
+      cfg.audit.enabled = true;
     } else if (arg == "--timeseries-dt" && parse_double(next(), value)) {
       cfg.timeseries_dt = static_cast<SimTime>(value * 1000.0);  // ns -> ps
     } else if (arg == "--packet-csv") {
@@ -307,6 +338,7 @@ int main(int argc, char** argv) {
   write_out("trace", chrome_trace_path, r.trace_json);
   write_out("breakdown", breakdown_path, r.trace_breakdown_csv);
   write_out("timeseries", timeseries_path, r.timeseries_csv);
+  write_out("audit", audit_path, r.audit_jsonl);
 
   const auto print_class = [](const char* name,
                               const workload::ClassMetrics& m) {

@@ -44,6 +44,8 @@ Histogram::Histogram(double upper, int buckets)
 void Histogram::add(double x) {
   ++total_;
   if (x < 0) x = 0;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
   const auto idx = static_cast<std::size_t>(x / width_);
   if (idx >= counts_.size()) {
     ++overflow_;
@@ -61,6 +63,10 @@ bool Histogram::merge(const Histogram& other) {
   }
   overflow_ += other.overflow_;
   total_ += other.total_;
+  if (other.total_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
   return true;
 }
 

@@ -64,11 +64,20 @@ class Histogram {
   double p99() const { return percentile(0.99); }
   double p999() const { return percentile(0.999); }
 
+  /// Exact extremes of the samples seen (not bucket-quantized); 0 while
+  /// empty, matching RunningStats. The tail anchors the interpolated
+  /// percentiles cannot provide — p999 of a clipped distribution says
+  /// nothing about the single worst sample.
+  double min() const { return total_ ? min_ : 0.0; }
+  double max() const { return total_ ? max_ : 0.0; }
+
  private:
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace ibsec

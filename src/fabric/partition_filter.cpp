@@ -7,8 +7,9 @@ namespace ibsec::fabric {
 SwitchPartitionFilter::SwitchPartitionFilter(const FabricConfig& config,
                                              sim::Simulator& simulator,
                                              int num_ports,
-                                             std::string obs_prefix)
-    : config_(config), sim_(simulator),
+                                             std::string obs_prefix,
+                                             int switch_id)
+    : config_(config), sim_(simulator), switch_id_(switch_id),
       ports_(static_cast<std::size_t>(num_ports)) {
   auto& reg = simulator.obs();
   obs_lookups_ = &reg.counter(obs_prefix + ".lookups");
@@ -115,6 +116,17 @@ void SwitchPartitionFilter::schedule_idle_check(int port) {
     if (state.violation_counter == state.counter_at_last_check) {
       // No violations during the window: the attack ended. Disarm and
       // forget the invalid keys so memory returns to baseline.
+      if (sim_.audit().enabled()) {
+        obs::AuditEvent ev;
+        ev.at = sim_.now();
+        ev.node = switch_id_;
+        ev.port = port;
+        ev.verdict = "disarmed";
+        // a0 = violations absorbed over the armed window: the incident's
+        // magnitude, paired with the matching sif_install by (node, port).
+        ev.a0 = static_cast<std::int64_t>(state.violation_counter);
+        sim_.audit().emit("sif_expire", ev);
+      }
       state.sif_active = false;
       state.invalid_pkeys.clear();
       obs_sif_deactivations_->inc();

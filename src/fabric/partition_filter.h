@@ -36,8 +36,11 @@ class SwitchPartitionFilter {
 
   /// `obs_prefix` scopes this filter's registry metrics (lookups, drops,
   /// SIF arm/disarm counts and armed time), e.g. "switch.3.filter".
+  /// `switch_id` identifies the owning switch in sif_expire audit events
+  /// (-1 for standalone filters in unit tests).
   SwitchPartitionFilter(const FabricConfig& config, sim::Simulator& simulator,
-                        int num_ports, std::string obs_prefix = "filter");
+                        int num_ports, std::string obs_prefix = "filter",
+                        int switch_id = -1);
 
   /// Marks `port` as HCA-facing (an ingress port for IF/SIF purposes).
   void set_ingress_port(int port, bool is_ingress);
@@ -89,6 +92,7 @@ class SwitchPartitionFilter {
 
   const FabricConfig& config_;
   sim::Simulator& sim_;
+  int switch_id_ = -1;
   std::vector<PortState> ports_;
   std::uint64_t total_lookups_ = 0;
   std::uint64_t total_drops_ = 0;

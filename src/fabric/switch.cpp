@@ -5,6 +5,19 @@
 #include "common/annotations.h"
 
 namespace ibsec::fabric {
+namespace {
+
+const char* filter_mode_name(FilterMode mode) {
+  switch (mode) {
+    case FilterMode::kNone: return "none";
+    case FilterMode::kDpt: return "dpt";
+    case FilterMode::kIf: return "if";
+    case FilterMode::kSif: return "sif";
+  }
+  return "none";
+}
+
+}  // namespace
 
 Switch::Switch(sim::Simulator& simulator, const FabricConfig& config, int id,
                int num_ports)
@@ -13,7 +26,7 @@ Switch::Switch(sim::Simulator& simulator, const FabricConfig& config, int id,
       id_(id),
       routes_(std::numeric_limits<ib::Lid>::max() + 1, -1),
       filter_(config, simulator, num_ports,
-              "switch." + std::to_string(id) + ".filter") {
+              "switch." + std::to_string(id) + ".filter", id) {
   auto& reg = simulator.obs();
   const std::string prefix = "switch." + std::to_string(id) + ".";
   obs_.forwarded = &reg.counter(prefix + "forwarded");
@@ -59,6 +72,19 @@ void Switch::set_route(ib::Lid dlid, int port) {
 
 std::string Switch::name() const { return "switch-" + std::to_string(id_); }
 
+obs::AuditEvent Switch::audit_event(const ib::Packet& pkt,
+                                    int in_port) const {
+  obs::AuditEvent ev;
+  ev.at = sim_.now();
+  ev.node = id_;
+  ev.actor_lid = static_cast<std::int32_t>(pkt.lrh.slid);
+  ev.victim_lid = static_cast<std::int32_t>(pkt.lrh.dlid);
+  ev.victim_qp = static_cast<std::int32_t>(pkt.bth.dest_qp);
+  ev.port = in_port;
+  ev.trace_id = pkt.meta.trace_id;
+  return ev;
+}
+
 IBSEC_HOT void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
   InputPort& input = inputs_.at(static_cast<std::size_t>(in_port));
   const ib::VirtualLane vl = pkt.lrh.vl;
@@ -98,6 +124,12 @@ IBSEC_HOT void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
         !limiter->consume(pkt.wire_size(), sim_.now())) {
       ++stats_.dropped_rate_limited;
       obs_.drop_rate_limited->inc();
+      if (sim_.audit().enabled()) {
+        obs::AuditEvent ev = audit_event(pkt, in_port);
+        ev.verdict = "dropped";
+        ev.a0 = static_cast<std::int64_t>(pkt.wire_size());
+        sim_.audit().emit("rate_limit_trip", ev);
+      }
       trace.instant(trace_id, obs::TraceEventType::kSwitchDrop, id_,
                     sim_.now(), "rate_limited");
       input.release(pkt, vl);
@@ -131,6 +163,12 @@ IBSEC_HOT void Switch::packet_arrived(ib::Packet&& pkt, int in_port) {
     if (!allow) {
       ++stats_.dropped_filter;
       obs_.drop_pkey->inc();
+      if (sim_.audit().enabled()) {
+        obs::AuditEvent ev = audit_event(*slot, in_port);
+        ev.verdict = filter_mode_name(config_.filter_mode);
+        ev.a0 = static_cast<std::int64_t>(slot->bth.pkey);
+        sim_.audit().emit("dpt_drop", ev);
+      }
       sim_.trace().instant(sim_.trace().enabled() ? slot->meta.trace_id : 0,
                            obs::TraceEventType::kSwitchDrop, id_, sim_.now(),
                            "pkey");

@@ -1,0 +1,84 @@
+#include "obs/audit.h"
+
+#include <cstdio>
+
+namespace ibsec::obs {
+namespace {
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+void AuditLog::configure(const AuditConfig& config) {
+  config_ = config;
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+void AuditLog::emit(std::string_view type, const AuditEvent& event) {
+  if (!config_.enabled) return;
+  AuditEvent ev = event;
+  ev.type = type;
+  record(ev);
+}
+
+void AuditLog::record(const AuditEvent& event) {
+  ++recorded_;
+  if (events_.size() < config_.capacity) {
+    events_.push_back(event);
+    return;
+  }
+  if (!config_.ring) {
+    ++dropped_;  // drop-newest: the front of the run is what we keep
+    return;
+  }
+  // Ring mode: overwrite the oldest slot, keep the newest tail.
+  events_[ring_head_] = event;
+  ring_head_ = (ring_head_ + 1) % config_.capacity;
+  ++evicted_;
+}
+
+std::vector<AuditEvent> AuditLog::events() const {
+  std::vector<AuditEvent> out;
+  out.reserve(events_.size());
+  // ring_head_ is the oldest element once the ring has wrapped.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(ring_head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::string AuditLog::to_jsonl() const {
+  std::string out;
+  for (const AuditEvent& ev : events()) {
+    out += "{\"t\":";
+    append_int(out, ev.at);
+    out += ",\"type\":\"";
+    out += ev.type;
+    out += "\",\"verdict\":\"";
+    out += ev.verdict;
+    out += "\",\"node\":";
+    append_int(out, ev.node);
+    out += ",\"actor_lid\":";
+    append_int(out, ev.actor_lid);
+    out += ",\"actor_qp\":";
+    append_int(out, ev.actor_qp);
+    out += ",\"victim_lid\":";
+    append_int(out, ev.victim_lid);
+    out += ",\"victim_qp\":";
+    append_int(out, ev.victim_qp);
+    out += ",\"port\":";
+    append_int(out, ev.port);
+    out += ",\"trace_id\":";
+    append_int(out, static_cast<std::int64_t>(ev.trace_id));
+    out += ",\"a0\":";
+    append_int(out, ev.a0);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace ibsec::obs

@@ -196,6 +196,10 @@ Snapshot Registry::snapshot() const {
         snap.values[name + ".p50_x1000"] = std::llround(h.p50() * 1000.0);
         snap.values[name + ".p99_x1000"] = std::llround(h.p99() * 1000.0);
         snap.values[name + ".p999_x1000"] = std::llround(h.p999() * 1000.0);
+        // Exact sample extremes: the tail anchors interpolated percentiles
+        // can't provide (forensics reads the worst single observation).
+        snap.values[name + ".min_x1000"] = std::llround(h.min() * 1000.0);
+        snap.values[name + ".max_x1000"] = std::llround(h.max() * 1000.0);
         break;
       }
     }

@@ -86,7 +86,8 @@ class TimeAccumulator {
 ///   time accumulator  -> "<name>.total_ps", "<name>.count"
 ///   histogram         -> "<name>.count", "<name>.overflow",
 ///                        "<name>.p50_x1000", "<name>.p99_x1000",
-///                        "<name>.p999_x1000"
+///                        "<name>.p999_x1000", "<name>.min_x1000",
+///                        "<name>.max_x1000"
 struct Snapshot {
   std::map<std::string, std::int64_t> values;
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/annotations.h"
+#include "obs/audit.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
@@ -29,6 +30,12 @@ class Simulator {
   /// so an unconfigured recorder costs one inlined bool load.
   obs::TraceRecorder& trace() { return trace_; }
   const obs::TraceRecorder& trace() const { return trace_; }
+
+  /// This simulation's security audit log (see obs/audit.h). Disabled by
+  /// default; enforcement points guard on audit().enabled() so an
+  /// unconfigured log costs one inlined bool load.
+  obs::AuditLog& audit() { return audit_; }
+  const obs::AuditLog& audit() const { return audit_; }
 
   /// Schedules `fn` at absolute time `when` (must be >= now()). Forwards the
   /// raw callable so it is built in place inside the queue's slot pool.
@@ -73,6 +80,7 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   obs::Registry obs_;
   obs::TraceRecorder trace_;
+  obs::AuditLog audit_;
 };
 
 }  // namespace ibsec::sim

@@ -142,6 +142,18 @@ ib::Packet ChannelAdapter::make_packet(ib::PacketMeta::TrafficClass tclass,
   return pkt;
 }
 
+obs::AuditEvent ChannelAdapter::audit_event(const ib::Packet& pkt) const {
+  obs::AuditEvent ev;
+  ev.at = fabric_.simulator().now();
+  ev.node = node_;
+  ev.actor_lid = static_cast<std::int32_t>(pkt.lrh.slid);
+  ev.actor_qp = pkt.deth ? static_cast<std::int32_t>(pkt.deth->src_qp) : -1;
+  ev.victim_lid = static_cast<std::int32_t>(pkt.lrh.dlid);
+  ev.victim_qp = static_cast<std::int32_t>(pkt.bth.dest_qp);
+  ev.trace_id = pkt.meta.trace_id;
+  return ev;
+}
+
 void ChannelAdapter::trace_retire(const ib::Packet& pkt, const char* cause) {
   sim::Simulator& sim = fabric_.simulator();
   if (!sim.trace().enabled() || pkt.meta.trace_id == 0) return;
@@ -385,6 +397,12 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       send_mad(sm_node_, trap);
     }
     retire_.pkey_violation->inc();
+    if (fabric_.simulator().audit().enabled()) {
+      obs::AuditEvent ev = audit_event(pkt);
+      ev.verdict = "rejected";
+      ev.a0 = static_cast<std::int64_t>(pkt.bth.pkey);
+      fabric_.simulator().audit().emit("pkey_reject", ev);
+    }
     trace_retire(pkt, "pkey_violation");
     return;
   }
@@ -392,12 +410,24 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
   // 2. Authentication (the paper's mechanism). Without an authenticator the
   // plain ICRC is checked as ordinary error detection.
   if (authenticator_ != nullptr) {
-    switch (authenticator_->verify(pkt)) {
+    const AuthVerdict verdict = authenticator_->verify(pkt);
+    // One mac_fail audit event per rejection, verdict naming the cause —
+    // forensics separates replay bursts from tag-forgery scans by it.
+    const auto audit_mac_fail = [&](std::string_view cause) {
+      sim::Simulator& sim = fabric_.simulator();
+      if (!sim.audit().enabled()) return;
+      obs::AuditEvent ev = audit_event(pkt);
+      ev.verdict = cause;
+      ev.a0 = static_cast<std::int64_t>(pkt.bth.psn);
+      sim.audit().emit("mac_fail", ev);
+    };
+    switch (verdict) {
       case AuthVerdict::kAccept:
         break;
       case AuthVerdict::kNotAuthenticated:
         ++counters_.auth_unauthenticated;
         retire_.auth_missing->inc();
+        audit_mac_fail("unauthenticated");
         trace_retire(pkt, "auth_missing");
         return;
       case AuthVerdict::kRejectBadTag:
@@ -405,6 +435,9 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       case AuthVerdict::kRejectReplay:
         ++counters_.auth_rejected;
         retire_.auth_rejected->inc();
+        audit_mac_fail(verdict == AuthVerdict::kRejectBadTag  ? "bad_tag"
+                       : verdict == AuthVerdict::kRejectNoKey ? "no_key"
+                                                              : "replay");
         trace_retire(pkt, "auth_rejected");
         return;
     }
@@ -501,6 +534,14 @@ void ChannelAdapter::handle_data_packet(ib::Packet&& pkt) {
       ++qp->counters.dropped_bad_qkey;
       qkey_drop_counter(*qp).inc();
       retire_.qkey_violation->inc();
+      if (fabric_.simulator().audit().enabled()) {
+        obs::AuditEvent ev = audit_event(pkt);
+        ev.verdict = "rejected";
+        ev.a0 = pkt.deth
+                    ? static_cast<std::int64_t>(pkt.deth->qkey)
+                    : -1;
+        fabric_.simulator().audit().emit("qkey_reject", ev);
+      }
       trace_retire(pkt, "qkey_violation");
       return;
     }
@@ -772,22 +813,35 @@ IBSEC_HOT void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
     retire_.ack->inc();
     return;
   }
+  // Audits both gate outcomes: "rejected" for control packets the
+  // fail-closed validation discards, "accepted" for spoofed ones that
+  // cleared window entries anyway (the campaign's success signal).
+  const auto audit_rc = [&](std::string_view verdict, std::int64_t a0) {
+    sim::Simulator& sim = fabric_.simulator();
+    if (!sim.audit().enabled()) return;
+    obs::AuditEvent ev = audit_event(pkt);
+    ev.verdict = verdict;
+    ev.a0 = a0;
+    sim.audit().emit("rc_spoofed_control", ev);
+  };
   QueuePair* qp = find_qp(pkt.bth.dest_qp);
   if (qp == nullptr || qp->type != ServiceType::kReliableConnection ||
       !qp->connected || !pkt.aeth) {
     ++counters_.rc_bad_control;
     retire_.rc_bad_control->inc();
+    audit_rc("rejected", -1);
     return;
   }
   // Clearing window entries on an attack-tagged control packet is the
   // adversary "earning" progress it shouldn't — the rc-spoof campaign's
   // success signal. Lazily resolved so attack-free runs never grow a
   // snapshot entry.
-  const auto note_spoof = [this](const ib::Packet& p, std::size_t cleared) {
+  const auto note_spoof = [&](const ib::Packet& p, std::size_t cleared) {
     if (!p.meta.is_attack || cleared == 0) return;
     ++counters_.rc_spoofed_accepted;
     if (rc_spoofed_obs_ == nullptr) rc_spoofed_obs_ = &rc_spoofed_counter();
     rc_spoofed_obs_->inc();
+    audit_rc("accepted", static_cast<std::int64_t>(cleared));
   };
 
   const ib::Psn psn = pkt.aeth->msn & ib::kPsnMask;
@@ -803,6 +857,7 @@ IBSEC_HOT void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
       // attacker clear a window they didn't earn.
       ++counters_.rc_bad_control;
       retire_.rc_bad_control->inc();
+      audit_rc("rejected", static_cast<std::int64_t>(psn));
       return;
     }
     ++counters_.acks_received;
@@ -814,6 +869,7 @@ IBSEC_HOT void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
     if (rc_config_.validate_control && !psn_le(psn, qp->next_psn)) {
       ++counters_.rc_bad_control;
       retire_.rc_bad_control->inc();
+      audit_rc("rejected", static_cast<std::int64_t>(psn));
       return;
     }
     ++counters_.naks_received;
@@ -831,6 +887,7 @@ IBSEC_HOT void ChannelAdapter::handle_rc_ack(const ib::Packet& pkt) {
   }
   ++counters_.rc_bad_control;
   retire_.rc_bad_control->inc();
+  audit_rc("rejected", static_cast<std::int64_t>(psn));
 }
 
 obs::Counter& ChannelAdapter::rc_spoofed_counter() {

@@ -25,6 +25,7 @@
 #include "fabric/topology.h"
 #include "ib/keys.h"
 #include "ib/packet.h"
+#include "obs/audit.h"
 #include "obs/registry.h"
 #include "transport/mad.h"
 #include "transport/pki.h"
@@ -275,6 +276,10 @@ class ChannelAdapter {
   /// Records the terminal trace event for a packet retiring at this CA:
   /// kRetire with the given cause, or kDeliver when cause is nullptr.
   void trace_retire(const ib::Packet& pkt, const char* cause);
+  /// Common audit-event skeleton for a packet judged at this CA: actor =
+  /// SLID/DETH source QP, victim = DLID/BTH destination QP, trace join key.
+  /// Callers fill `verdict`/`a0` and emit; sites guard on audit().enabled().
+  obs::AuditEvent audit_event(const ib::Packet& pkt) const;
 
   fabric::Fabric& fabric_;
   int node_;

@@ -137,6 +137,23 @@ bool SubnetManager::handle_mad(const Mad& mad) {
   // blackholing primitive a forged trap wants. Reject (validation on) or
   // count the poisoning (validation off — the ablation the trap-forge
   // campaign measures).
+  // Audits the validation verdict: actor = the reporting CA (a forged
+  // trap's sender), victim = the claimed offender the trap asks to
+  // blackhole, a0 = the reported P_Key.
+  const auto audit_trap = [&](std::string_view verdict) {
+    sim::Simulator& sim = fabric_.simulator();
+    if (!sim.audit().enabled()) return;
+    obs::AuditEvent ev;
+    ev.at = sim.now();
+    ev.node = sm_node_;
+    ev.actor_lid =
+        static_cast<std::int32_t>(fabric_.lid_of_node(mad.src_node));
+    ev.actor_qp = static_cast<std::int32_t>(mad.src_qp);
+    ev.victim_lid = static_cast<std::int32_t>(mad.value);
+    ev.verdict = verdict;
+    ev.a0 = static_cast<std::int64_t>(mad.pkey);
+    sim.audit().emit("sm_trap", ev);
+  };
   if (pkey_legal_for(offender, mad.pkey)) {
     auto& reg = fabric_.simulator().obs();
     if (trap_validation_) {
@@ -145,6 +162,7 @@ bool SubnetManager::handle_mad(const Mad& mad) {
         obs_traps_rejected_ = &reg.counter("sm.traps_rejected");
       }
       obs_traps_rejected_->inc();
+      audit_trap("rejected");
       return true;
     }
     if (fabric_.config().filter_mode == fabric::FilterMode::kSif) {
@@ -157,6 +175,7 @@ bool SubnetManager::handle_mad(const Mad& mad) {
       obs_poisoned_->inc();
     }
   }
+  audit_trap("accepted");
   arm_sif(offender, mad.pkey);
   return true;
 }
@@ -168,6 +187,22 @@ void SubnetManager::arm_sif(int offender_node, ib::PKeyValue pkey) {
   ++sif_installs_;
   obs_sif_installs_->inc();
   obs_program_delay_->add(fabric_.config().sm_program_delay);
+  {
+    sim::Simulator& sim = fabric_.simulator();
+    if (sim.audit().enabled()) {
+      obs::AuditEvent ev;
+      ev.at = sim.now();
+      ev.node = sw.id();
+      // The filtered source is the "victim" of the install — which is the
+      // point when the trap that armed it was forged.
+      ev.victim_lid =
+          static_cast<std::int32_t>(fabric_.lid_of_node(offender_node));
+      ev.port = port;
+      ev.verdict = "armed";
+      ev.a0 = static_cast<std::int64_t>(pkey);
+      sim.audit().emit("sif_install", ev);
+    }
+  }
   // The SM -> switch programming SMP takes a configurable delay; during this
   // window attack traffic still crosses the fabric (the effect Figure 5
   // shows at low loads).

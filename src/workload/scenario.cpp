@@ -32,6 +32,8 @@ void Scenario::build() {
   // Tracing must be live before any component can emit an event (bring-up
   // MADs are part of a packet's lifecycle too).
   fabric_->simulator().trace().configure(config_.trace);
+  // Same for the audit plane: bring-up enforcement verdicts are evidence.
+  fabric_->simulator().audit().configure(config_.audit);
   const int n = fabric_->node_count();
 
   cas_.reserve(static_cast<std::size_t>(n));
@@ -435,6 +437,9 @@ ScenarioResult Scenario::run() {
   if (sim.trace().enabled()) {
     result.trace_json = sim.trace().to_chrome_json();
     result.trace_breakdown_csv = obs::breakdown_csv(sim.trace().events());
+  }
+  if (sim.audit().enabled()) {
+    result.audit_jsonl = sim.audit().to_jsonl();
   }
   return result;
 }

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "obs/audit.h"
 #include "obs/registry.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -100,6 +101,9 @@ struct ScenarioConfig {
   /// the result carries the Chrome trace JSON and the per-packet latency
   /// breakdown CSV.
   obs::TraceConfig trace;
+  /// Security audit plane (obs/audit.h), off by default. When enabled the
+  /// result carries the JSONL event log every enforcement point feeds.
+  obs::AuditConfig audit;
   /// Fixed-Δt registry sampling into ScenarioResult::timeseries_csv;
   /// 0 disables. Buckets start at run() and cover warmup + duration.
   SimTime timeseries_dt = 0;
@@ -146,6 +150,8 @@ struct ScenarioResult {
   std::string trace_breakdown_csv;
   /// Fixed-Δt counter/gauge series (empty unless config.timeseries_dt > 0).
   std::string timeseries_csv;
+  /// Security audit event log, JSONL (empty unless config.audit.enabled).
+  std::string audit_jsonl;
 };
 
 class Scenario {

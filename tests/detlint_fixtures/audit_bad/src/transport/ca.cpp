@@ -1,0 +1,9 @@
+// Audit-schema fixture: one emission matching the schema, one typo a
+// near-miss suggestion must catch, one dynamic type out of scope. Never
+// compiled — only scanned.
+void Ca::reject(const Packet& pkt) {
+  obs::AuditEvent ev = audit_event(pkt);
+  sim_.audit().emit("qkey_reject", ev);
+  sim_.audit().emit("mac_fial", ev);
+  sim_.audit().emit(dynamic_type_, ev);
+}

@@ -172,6 +172,27 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_EQ(h.total(), 4u);
 }
 
+TEST(Histogram, TracksExactExtremesAcrossMerge) {
+  Histogram h(10.0, 10);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty: 0, matching RunningStats
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.add(2.5);
+  h.add(15.0);  // overflow still counts toward the extremes
+  EXPECT_DOUBLE_EQ(h.min(), 2.5);
+  EXPECT_DOUBLE_EQ(h.max(), 15.0);
+
+  Histogram other(10.0, 10);
+  other.add(0.5);
+  h.merge(other);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 15.0);
+
+  Histogram empty(10.0, 10);
+  h.merge(empty);  // merging an empty histogram must not clobber extremes
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 15.0);
+}
+
 TEST(Histogram, PercentileMonotone) {
   Histogram h(100.0, 100);
   Rng rng(1);

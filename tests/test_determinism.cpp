@@ -24,6 +24,9 @@ ScenarioConfig config_variant(int i) {
   cfg.trace.sample_every = 2;
   cfg.trace.sample_seed = cfg.seed;
   cfg.timeseries_dt = 25 * kMicrosecond;
+  // The audit plane rides every variant too, so rerun and worker-count
+  // invariance below pin its export alongside trace and time series.
+  cfg.audit.enabled = true;
   switch (i % 4) {
     case 0:
       cfg.num_attackers = 2;
@@ -88,6 +91,34 @@ TEST(Determinism, TraceExportsByteIdentical) {
   // ...and replay byte-for-byte.
   EXPECT_EQ(a.trace_json, b.trace_json);
   EXPECT_EQ(a.trace_breakdown_csv, b.trace_breakdown_csv);
+  EXPECT_EQ(a.timeseries_csv, b.timeseries_csv);
+}
+
+TEST(Determinism, AuditExportByteIdenticalAcrossReruns) {
+  // Variant 0 floods bad P_Keys through a SIF fabric, so the audit log sees
+  // the whole enforcement chain: switch drops, SM traps, SIF arm/disarm.
+  ScenarioConfig cfg = config_variant(0);
+  Scenario first(cfg);
+  Scenario second(cfg);
+  const ScenarioResult a = first.run();
+  const ScenarioResult b = second.run();
+  ASSERT_GT(a.audit_jsonl.size(), 100u);
+  EXPECT_EQ(a.audit_jsonl, b.audit_jsonl);
+}
+
+TEST(Determinism, AuditDoesNotPerturbRunOutcome) {
+  // Auditing is pure observation: the snapshot and every other export must
+  // be byte-identical whether the audit plane is on or off.
+  ScenarioConfig cfg = config_variant(0);
+  Scenario audited(cfg);
+  cfg.audit.enabled = false;
+  Scenario silent(cfg);
+  const ScenarioResult a = audited.run();
+  const ScenarioResult b = silent.run();
+  ASSERT_FALSE(a.audit_jsonl.empty());
+  EXPECT_TRUE(b.audit_jsonl.empty());
+  EXPECT_EQ(a.obs.to_json(), b.obs.to_json());
+  EXPECT_EQ(a.trace_json, b.trace_json);
   EXPECT_EQ(a.timeseries_csv, b.timeseries_csv);
 }
 
@@ -240,7 +271,12 @@ TEST(Determinism, SweepWorkerCountInvariant) {
         << "config " << i;
     EXPECT_EQ(serial[i].timeseries_csv, parallel[i].timeseries_csv)
         << "config " << i;
+    EXPECT_EQ(serial[i].audit_jsonl, parallel[i].audit_jsonl)
+        << "config " << i;
   }
+  // At least one config actually produced audit events, so the invariance
+  // above is not vacuously comparing empty strings.
+  EXPECT_FALSE(serial[0].audit_jsonl.empty());
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+// Unit tests for the offline forensic analyzer (tools/forensics) on
+// synthetic audit records: JSONL parsing, the five incident detectors,
+// spoofed-source handling, trace joining, detection scoring, and the
+// byte-determinism of both report formats. The end-to-end tests that feed
+// it real scenario output live in test_attack_campaigns.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "forensics.h"
+
+namespace ibsec::forensics {
+namespace {
+
+AuditRecord record(std::string type, std::string verdict, int actor_lid,
+                   std::int64_t t) {
+  AuditRecord r;
+  r.type = std::move(type);
+  r.verdict = std::move(verdict);
+  r.actor_lid = actor_lid;
+  r.t = t;
+  return r;
+}
+
+std::vector<AuditRecord> burst(const std::string& type,
+                               const std::string& verdict, int actor_lid,
+                               int n, std::int64_t t0 = 1000) {
+  std::vector<AuditRecord> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back(record(type, verdict, actor_lid, t0 + i * 10));
+  }
+  return records;
+}
+
+// --- parsing -----------------------------------------------------------------
+
+TEST(ForensicsParse, RoundTripsTheAuditExportFormat) {
+  const std::string jsonl =
+      "{\"t\":54138357,\"type\":\"mac_fail\",\"verdict\":\"unauthenticated\","
+      "\"node\":1,\"actor_lid\":16,\"actor_qp\":2,\"victim_lid\":2,"
+      "\"victim_qp\":2,\"port\":-1,\"trace_id\":7,\"a0\":599}\n";
+  const auto records = parse_audit_jsonl(jsonl);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 1u);
+  const AuditRecord& r = records->front();
+  EXPECT_EQ(r.t, 54138357);
+  EXPECT_EQ(r.type, "mac_fail");
+  EXPECT_EQ(r.verdict, "unauthenticated");
+  EXPECT_EQ(r.node, 1);
+  EXPECT_EQ(r.actor_lid, 16);
+  EXPECT_EQ(r.actor_qp, 2);
+  EXPECT_EQ(r.victim_lid, 2);
+  EXPECT_EQ(r.victim_qp, 2);
+  EXPECT_EQ(r.port, -1);
+  EXPECT_EQ(r.trace_id, 7u);
+  EXPECT_EQ(r.a0, 599);
+}
+
+TEST(ForensicsParse, ToleratesUnknownKeysAndBlankLines) {
+  const auto records = parse_audit_jsonl(
+      "\n{\"t\":1,\"type\":\"pkey_reject\",\"verdict\":\"rejected\","
+      "\"future_field\":\"x\",\"a0\":5}\n\n");
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ(records->front().type, "pkey_reject");
+  EXPECT_EQ(records->front().a0, 5);
+  EXPECT_EQ(records->front().actor_lid, -1);  // absent key keeps the default
+}
+
+TEST(ForensicsParse, RejectsNonAuditInput) {
+  EXPECT_FALSE(parse_audit_jsonl("not json\n").has_value());
+  EXPECT_FALSE(parse_audit_jsonl("{\"t\":1}\n").has_value());  // no type
+  EXPECT_FALSE(parse_audit_jsonl("{\"type\":\"x\"").has_value());
+}
+
+TEST(ForensicsParse, TraceIdsAreSortedAndDeduplicated) {
+  const auto ids = trace_ids_of(
+      "[{\"tid\":9,\"ph\":\"X\"},{\"tid\":3},{\"tid\":9},{\"pid\":1}]");
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{3, 9}));
+}
+
+// --- detectors ---------------------------------------------------------------
+
+TEST(ForensicsAnalyze, ScanClusterCrossesThresholdPerActor) {
+  auto records = burst("qkey_reject", "rejected", 16, 12);
+  // Honest noise: a couple of stray rejects from another LID stay below
+  // min_cluster and produce no incident.
+  auto noise = burst("qkey_reject", "rejected", 3, 2, 9000);
+  records.insert(records.end(), noise.begin(), noise.end());
+
+  const Report report = analyze(records, AnalysisConfig{8});
+  ASSERT_EQ(report.incidents.size(), 1u) << to_text(report);
+  EXPECT_EQ(report.incidents[0].kind, "scan");
+  EXPECT_EQ(report.incidents[0].suspect_lid, 16);
+  EXPECT_EQ(report.incidents[0].events, 12u);
+  EXPECT_EQ(report.incidents[0].first_t, 1000);
+  EXPECT_EQ(report.incidents[0].last_t, 1110);
+  EXPECT_EQ(report.suspects, std::vector<int>{16});
+  EXPECT_EQ(report.total_events, 14u);
+}
+
+TEST(ForensicsAnalyze, MacFailVerdictsSplitScanFromReplay) {
+  auto records = burst("mac_fail", "bad_tag", 16, 10);
+  auto replays = burst("mac_fail", "replay", 4, 10, 5000);
+  records.insert(records.end(), replays.begin(), replays.end());
+
+  const Report report = analyze(records, AnalysisConfig{8});
+  ASSERT_EQ(report.incidents.size(), 2u) << to_text(report);
+  EXPECT_EQ(report.incidents[0].kind, "scan");  // kind order: scan first
+  EXPECT_EQ(report.incidents[0].suspect_lid, 16);
+  EXPECT_EQ(report.incidents[1].kind, "replay");
+  EXPECT_TRUE(report.incidents[1].spoofed_source);
+  // The replay cluster's LID is the spoofed honest source — not a suspect.
+  EXPECT_EQ(report.suspects, std::vector<int>{16});
+}
+
+TEST(ForensicsAnalyze, AcceptedVerdictsCountSeverityNotThreshold) {
+  // 20 rejected traps cross the threshold; 3 accepted ones from the same
+  // actor raise severity but must not inflate the cluster size.
+  auto records = burst("sm_trap", "rejected", 9, 20);
+  auto accepted = burst("sm_trap", "accepted", 9, 3, 9000);
+  records.insert(records.end(), accepted.begin(), accepted.end());
+
+  const Report report = analyze(records, AnalysisConfig{8});
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].kind, "trap_forge");
+  EXPECT_EQ(report.incidents[0].events, 20u);
+  EXPECT_EQ(report.incidents[0].accepted, 3u);
+}
+
+TEST(ForensicsAnalyze, FloodDetectorMergesEnforcementSurfaces) {
+  // The Fig. 1 DoS shows up at three enforcement points; one actor's drops
+  // across all of them form a single flood incident.
+  auto records = burst("pkey_reject", "rejected", 5, 4);
+  auto dpt = burst("dpt_drop", "sif", 5, 4, 2000);
+  auto rate = burst("rate_limit_trip", "dropped", 5, 4, 3000);
+  records.insert(records.end(), dpt.begin(), dpt.end());
+  records.insert(records.end(), rate.begin(), rate.end());
+
+  const Report report = analyze(records, AnalysisConfig{8});
+  ASSERT_EQ(report.incidents.size(), 1u) << to_text(report);
+  EXPECT_EQ(report.incidents[0].kind, "flood");
+  EXPECT_EQ(report.incidents[0].events, 12u);
+}
+
+TEST(ForensicsAnalyze, RcSpoofDetectorTracksClearedWindows) {
+  auto records = burst("rc_spoofed_control", "rejected", 11, 30);
+  records.push_back(record("rc_spoofed_control", "accepted", 11, 9000));
+  const Report report = analyze(records, AnalysisConfig{8});
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].kind, "rc_spoof");
+  EXPECT_EQ(report.incidents[0].events, 30u);
+  EXPECT_EQ(report.incidents[0].accepted, 1u);
+}
+
+// --- trace join --------------------------------------------------------------
+
+TEST(ForensicsJoin, CountsEventsPresentInTheTraceStream) {
+  auto records = burst("qkey_reject", "rejected", 16, 10);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].trace_id = 100 + i;
+  }
+  Report report = analyze(records, AnalysisConfig{8});
+  // Only even trace ids made it into the (sampled) trace export.
+  join_trace(report, records, {100, 102, 104, 106, 108});
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].traced, 5u);
+}
+
+// --- scoring -----------------------------------------------------------------
+
+TEST(ForensicsScore, PrecisionRecallAgainstGroundTruth) {
+  auto records = burst("qkey_reject", "rejected", 16, 10);
+  auto second = burst("sm_trap", "rejected", 9, 10, 5000);
+  records.insert(records.end(), second.begin(), second.end());
+  const Report report = analyze(records, AnalysisConfig{8});
+
+  const Detection perfect = score(report, {9, 16});
+  EXPECT_EQ(perfect.true_positives, 2u);
+  EXPECT_EQ(perfect.false_positives, 0u);
+  EXPECT_EQ(perfect.false_negatives, 0u);
+  EXPECT_EQ(perfect.precision_x1000, 1000);
+  EXPECT_EQ(perfect.recall_x1000, 1000);
+
+  const Detection partial = score(report, {16, 20});
+  EXPECT_EQ(partial.true_positives, 1u);
+  EXPECT_EQ(partial.false_positives, 1u);  // 9 flagged but not ground truth
+  EXPECT_EQ(partial.false_negatives, 1u);  // 20 never flagged
+  EXPECT_EQ(partial.precision_x1000, 500);
+  EXPECT_EQ(partial.recall_x1000, 500);
+}
+
+// --- reports -----------------------------------------------------------------
+
+TEST(ForensicsReport, TextAndJsonAreDeterministicFunctionsOfInput) {
+  auto records = burst("qkey_reject", "rejected", 16, 10);
+  const Report report = analyze(records, AnalysisConfig{8});
+  const Detection det = score(report, {16});
+  EXPECT_EQ(to_text(report, &det), to_text(report, &det));
+  EXPECT_EQ(to_json(report, &det), to_json(report, &det));
+  EXPECT_NE(to_json(report, &det).find("\"suspects\":[16]"),
+            std::string::npos);
+  EXPECT_NE(to_json(report, &det).find("\"precision_x1000\":1000"),
+            std::string::npos);
+  EXPECT_NE(to_text(report, &det).find("precision=1.000"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibsec::forensics

@@ -90,6 +90,9 @@ TEST(Registry, SnapshotFlattensEveryKind) {
   EXPECT_EQ(snap.at("n.lat.count"), 3);
   EXPECT_EQ(snap.at("n.lat.overflow"), 1);
   EXPECT_GT(snap.at("n.lat.p50_x1000"), 0);
+  // Exact extremes, not bucket-quantized: the overflow sample is the max.
+  EXPECT_EQ(snap.at("n.lat.min_x1000"), 10000);
+  EXPECT_EQ(snap.at("n.lat.max_x1000"), 500000);
 }
 
 TEST(Registry, SnapshotIsolatedFromLaterUpdates) {

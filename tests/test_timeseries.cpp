@@ -118,6 +118,11 @@ TEST(TimeSeries, HistogramPercentilesRideSnapshots) {
   EXPECT_NEAR(static_cast<double>(values.at("lat_us.p99_x1000")) / 1000.0,
               99.0, 2.0);
   EXPECT_GE(values.at("lat_us.p999_x1000"), values.at("lat_us.p99_x1000"));
+  // Exact extremes ride along with the percentiles.
+  ASSERT_EQ(values.count("lat_us.min_x1000"), 1u);
+  ASSERT_EQ(values.count("lat_us.max_x1000"), 1u);
+  EXPECT_EQ(values.at("lat_us.min_x1000"), 1000);
+  EXPECT_EQ(values.at("lat_us.max_x1000"), 100000);
 }
 
 }  // namespace

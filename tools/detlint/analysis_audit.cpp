@@ -1,0 +1,117 @@
+#include "analysis_audit.h"
+
+#include <fstream>
+#include <limits>
+
+#include "analysis_metrics.h"
+
+namespace ibsec::detlint {
+namespace {
+
+std::string raw_snippet(const FileModel& fm, int line) {
+  const std::size_t idx = static_cast<std::size_t>(line) - 1;
+  return idx < fm.raw_lines.size() ? trim(fm.raw_lines[idx]) : std::string();
+}
+
+}  // namespace
+
+bool load_audit_schema(const std::string& path, AuditSchema& schema,
+                       std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error += "cannot read audit schema " + path + "\n";
+    return false;
+  }
+  schema.path = path;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find('|') == std::string::npos) continue;
+    const std::size_t tick1 = line.find('`');
+    if (tick1 == std::string::npos) continue;
+    const std::size_t tick2 = line.find('`', tick1 + 1);
+    if (tick2 == std::string::npos) continue;
+    const std::string type = line.substr(tick1 + 1, tick2 - tick1 - 1);
+    if (type.empty() || type.find(' ') != std::string::npos) continue;
+    schema.entries.push_back(AuditSchemaEntry{type, lineno, false});
+  }
+  if (schema.entries.empty()) {
+    error += "audit schema " + path + " defines no event types\n";
+    return false;
+  }
+  return true;
+}
+
+std::vector<AuditEmit> extract_audit_emits(const FileModel& fm) {
+  std::vector<AuditEmit> emits;
+  const auto& code = fm.lexed.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (const std::size_t pos : word_positions(line, "emit")) {
+      // Only member calls: `audit().emit(` / `log->emit(`.
+      const char prev = prev_nonspace(line, pos);
+      if (prev != '.' && prev != '>') continue;
+      if (next_nonspace(line, pos + 4) != '(') continue;
+      const std::size_t open = line.find('(', pos + 4);
+      if (open == std::string::npos) continue;
+      // The event type must be the string literal opening right after '('
+      // (possibly across whitespace); anything else is out of scope.
+      std::size_t col = open + 1;
+      while (col < line.size() && line[col] == ' ') ++col;
+      if (col >= line.size() || line[col] != '"') continue;
+      const StringLiteral* lit =
+          fm.lexed.literal_at(static_cast<int>(i + 1), col);
+      if (lit == nullptr) continue;
+      emits.push_back(AuditEmit{static_cast<int>(i + 1), lit->value});
+    }
+  }
+  return emits;
+}
+
+void run_audit_pass(Project& project, AuditSchema& schema,
+                    std::vector<Finding>& findings) {
+  for (const FileModel& fm : project.files) {
+    if (layer_of(fm.rel) == "obs") continue;  // the AuditLog implementation
+    for (const AuditEmit& emit : extract_audit_emits(fm)) {
+      bool matched = false;
+      int best_dist = std::numeric_limits<int>::max();
+      const AuditSchemaEntry* best = nullptr;
+      for (AuditSchemaEntry& entry : schema.entries) {
+        if (entry.type == emit.type) {
+          entry.used = true;
+          matched = true;
+          continue;
+        }
+        const int d = glob_distance(emit.type, entry.type);
+        if (d < best_dist) {
+          best_dist = d;
+          best = &entry;
+        }
+      }
+      if (matched) continue;
+      std::string message = "audit event '" + emit.type +
+                            "' is not in the schema (docs/audit_schema.md)";
+      if (best != nullptr && best_dist <= 2) {
+        message += "; did you mean '" + best->type + "'?";
+      } else {
+        message +=
+            "; add a row to the schema or fix the type to an existing one";
+      }
+      findings.push_back(Finding{fm.path, emit.line, "audit-schema",
+                                 std::move(message),
+                                 raw_snippet(fm, emit.line)});
+    }
+  }
+  for (const AuditSchemaEntry& entry : schema.entries) {
+    if (entry.used) continue;
+    findings.push_back(Finding{
+        schema.path, entry.line, "schema-unused",
+        "schema entry '" + entry.type +
+            "' matches no audit emission anywhere in the scanned sources; "
+            "delete the row or wire up the emission",
+        entry.type});
+  }
+}
+
+}  // namespace ibsec::detlint

@@ -1,0 +1,60 @@
+// Audit-schema pass (rules "audit-schema" and "schema-unused").
+//
+// Every audit event the simulator emits (`audit().emit("type", ev)`) must
+// be a row in docs/audit_schema.md — the closed taxonomy the offline
+// forensic analyzer keys its detectors on. Unlike the metric schema there
+// is no globbing: the event vocabulary is small and exact by design, and
+// the emission contract (obs/audit.h) requires the type to be a string
+// literal at the call site, which is what makes this pass possible.
+//
+//   - an `emit("...")` whose type literal matches no schema row is
+//     reported (audit-schema), with a "did you mean" suggestion when a row
+//     is within two edits;
+//   - a schema row no emission site produces is reported against the
+//     schema document itself (schema-unused) — taxonomy rot, the doc-side
+//     mirror.
+//
+// Emit calls whose first argument is not a string literal are out of
+// scope (the obs/ layer — the AuditLog implementation — is exempt, like
+// the registry is for the metric pass).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis_model.h"
+#include "detlint.h"
+
+namespace ibsec::detlint {
+
+struct AuditSchemaEntry {
+  std::string type;  ///< exact event-type literal, e.g. "qkey_reject"
+  int line = 0;      ///< line of the table row in the schema doc
+  bool used = false;  ///< some emission site produces this type
+};
+
+struct AuditSchema {
+  std::string path;
+  std::vector<AuditSchemaEntry> entries;
+};
+
+/// Parses the schema doc: every markdown table row whose first backtick
+/// span is an event type. Returns false (appending to `error`) when the
+/// file is unreadable or contains no entries.
+bool load_audit_schema(const std::string& path, AuditSchema& schema,
+                       std::string& error);
+
+/// One audit emission extracted from source.
+struct AuditEmit {
+  int line = 0;
+  std::string type;  ///< the first-argument string literal, verbatim
+};
+
+/// All member `.emit("...")` / `->emit("...")` calls in one file whose
+/// first argument is a string literal. Exposed for tests.
+std::vector<AuditEmit> extract_audit_emits(const FileModel& fm);
+
+void run_audit_pass(Project& project, AuditSchema& schema,
+                    std::vector<Finding>& findings);
+
+}  // namespace ibsec::detlint

@@ -1,0 +1,119 @@
+// Offline forensic analyzer for the security audit plane (obs/audit.h).
+//
+// Ingests the audit JSONL a run exported (`run_experiment --audit`),
+// clusters enforcement verdicts into incidents, and scores the resulting
+// suspect list against ground-truth attacker LIDs — turning the attack
+// corpus's campaign × defense matrix into a measurable *detection* matrix.
+//
+// Detectors (one per campaign surface, clustered per actor LID with a
+// configurable minimum cluster size):
+//   scan        qkey_reject + mac_fail{unauthenticated,no_key,bad_tag}:
+//               repeated key-guessing probes dying at a CA
+//   replay      mac_fail{replay}: replay-window hits. NOTE: replayed
+//               packets carry the *original* sender's SLID, so the suspect
+//               this incident names is the spoofed honest source — the
+//               report flags it as unattributable rather than lying
+//   trap_forge  sm_trap{rejected} storms: forged P_Key-violation traps the
+//               SM's plausibility check bounced (accepted ones from the
+//               same actor count toward severity)
+//   rc_spoof    rc_spoofed_control{rejected} storms (accepted ones count
+//               toward severity — window entries an attacker cleared)
+//   flood       pkey_reject + dpt_drop + rate_limit_trip: the Fig. 1
+//               bandwidth DoS, seen from the enforcement side
+//
+// Every product is byte-deterministic: incidents sort by (kind order,
+// actor LID), all numbers format through integer snprintf, and the text
+// and JSON reports are pure functions of the input bytes — the property
+// tests/test_determinism.cpp pins across reruns and sweep workers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibsec::forensics {
+
+/// One parsed audit JSONL record (field semantics in obs/audit.h).
+struct AuditRecord {
+  std::int64_t t = 0;
+  std::string type;
+  std::string verdict;
+  int node = -1;
+  int actor_lid = -1;
+  int actor_qp = -1;
+  int victim_lid = -1;
+  int victim_qp = -1;
+  int port = -1;
+  std::uint64_t trace_id = 0;
+  std::int64_t a0 = 0;
+};
+
+/// Parses an audit JSONL export. Returns nullopt when a line is not an
+/// audit record (missing "type" or malformed braces); unknown keys are
+/// ignored so the schema can grow without breaking old analyzers.
+std::optional<std::vector<AuditRecord>> parse_audit_jsonl(
+    std::string_view text);
+
+/// Extracts the set of packet trace ids ("tid" values) present in a Chrome
+/// trace_event JSON export — the join targets for AuditRecord::trace_id.
+std::vector<std::uint64_t> trace_ids_of(std::string_view chrome_json);
+
+struct Incident {
+  std::string kind;  ///< scan | replay | trap_forge | rc_spoof | flood
+  int suspect_lid = -1;
+  std::uint64_t events = 0;    ///< rejected/dropped verdicts in the cluster
+  std::uint64_t accepted = 0;  ///< verdicts that got through (severity)
+  std::int64_t first_t = 0;
+  std::int64_t last_t = 0;
+  /// Events joinable into the trace stream (trace_id present there); 0
+  /// when no trace was supplied.
+  std::uint64_t traced = 0;
+  /// True when the evidence cannot name the real actor (replay: the SLID
+  /// is the spoofed honest source). Unattributable incidents are excluded
+  /// from the suspect list.
+  bool spoofed_source = false;
+};
+
+struct AnalysisConfig {
+  /// Minimum rejected-verdict cluster size per (detector, actor) to call
+  /// an incident; smaller clusters are honest noise (a stray Q_Key typo,
+  /// one corrupted MAC).
+  std::uint64_t min_cluster = 8;
+};
+
+struct Report {
+  std::vector<Incident> incidents;  ///< sorted by (kind order, suspect LID)
+  std::vector<int> suspects;        ///< unique attributable LIDs, ascending
+  std::uint64_t total_events = 0;
+};
+
+Report analyze(const std::vector<AuditRecord>& records,
+               const AnalysisConfig& config = {});
+
+/// Fills Incident::traced for every incident given the trace-id join set.
+void join_trace(Report& report, const std::vector<AuditRecord>& records,
+                const std::vector<std::uint64_t>& trace_ids);
+
+/// Suspect list scored against ground-truth attacker LIDs. Ratios are
+/// reported x1000 (integer) so the formatting stays byte-deterministic.
+struct Detection {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+  std::int64_t precision_x1000 = 0;
+  std::int64_t recall_x1000 = 0;
+};
+
+Detection score(const Report& report, const std::vector<int>& truth_lids);
+
+/// Human-readable incident report; `detection` adds the scoring footer.
+std::string to_text(const Report& report,
+                    const Detection* detection = nullptr);
+/// Machine-readable JSON (single object, sorted arrays, integer-only
+/// number formatting).
+std::string to_json(const Report& report,
+                    const Detection* detection = nullptr);
+
+}  // namespace ibsec::forensics

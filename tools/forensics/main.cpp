@@ -1,0 +1,148 @@
+// forensics: offline incident reconstruction from an audit JSONL export.
+//
+//   forensics AUDIT.jsonl [options]
+//     --trace FILE        Chrome trace export to join (fills `traced`)
+//     --json FILE         also write the machine-readable report ("-" =
+//                         stdout instead of the text report)
+//     --truth LID,LID,... ground-truth attacker LIDs; adds the
+//                         precision/recall footer and makes the exit code
+//                         reflect detection quality
+//     --min-cluster N     incident threshold (default 8)
+//
+// Exit codes: 0 success (and, with --truth, perfect precision+recall);
+// 1 detection imperfect; 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "forensics.h"
+
+namespace {
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<int> parse_lids(const std::string& csv) {
+  std::vector<int> lids;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    lids.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return lids;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: forensics AUDIT.jsonl [--trace FILE] [--json FILE]"
+               " [--truth LID,LID,...] [--min-cluster N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string audit_path;
+  std::string trace_path;
+  std::string json_path;
+  std::string truth_csv;
+  bool have_truth = false;
+  ibsec::forensics::AnalysisConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag, std::string& out) -> bool {
+      const std::size_t flen = std::strlen(flag);
+      if (arg.compare(0, flen, flag) != 0) return false;
+      if (arg.size() == flen) {
+        if (i + 1 >= argc) return false;
+        out = argv[++i];
+        return true;
+      }
+      if (arg[flen] != '=') return false;
+      out = arg.substr(flen + 1);
+      return true;
+    };
+    std::string value;
+    if (value_of("--trace", trace_path)) {
+    } else if (value_of("--json", json_path)) {
+    } else if (value_of("--truth", truth_csv)) {
+      have_truth = true;
+    } else if (value_of("--min-cluster", value)) {
+      config.min_cluster = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      if (config.min_cluster == 0) config.min_cluster = 1;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (audit_path.empty()) {
+      audit_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (audit_path.empty()) return usage();
+
+  const auto audit_text = slurp(audit_path);
+  if (!audit_text) {
+    std::fprintf(stderr, "forensics: cannot read %s\n", audit_path.c_str());
+    return 2;
+  }
+  const auto records = ibsec::forensics::parse_audit_jsonl(*audit_text);
+  if (!records) {
+    std::fprintf(stderr, "forensics: %s is not audit JSONL\n",
+                 audit_path.c_str());
+    return 2;
+  }
+
+  ibsec::forensics::Report report = ibsec::forensics::analyze(*records, config);
+
+  if (!trace_path.empty()) {
+    const auto trace_text = slurp(trace_path);
+    if (!trace_text) {
+      std::fprintf(stderr, "forensics: cannot read %s\n", trace_path.c_str());
+      return 2;
+    }
+    ibsec::forensics::join_trace(
+        report, *records, ibsec::forensics::trace_ids_of(*trace_text));
+  }
+
+  ibsec::forensics::Detection detection;
+  const ibsec::forensics::Detection* det = nullptr;
+  if (have_truth) {
+    detection = ibsec::forensics::score(report, parse_lids(truth_csv));
+    det = &detection;
+  }
+
+  if (json_path == "-") {
+    std::cout << ibsec::forensics::to_json(report, det);
+  } else {
+    std::cout << ibsec::forensics::to_text(report, det);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "forensics: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      out << ibsec::forensics::to_json(report, det);
+    }
+  }
+
+  if (have_truth &&
+      (detection.precision_x1000 != 1000 || detection.recall_x1000 != 1000)) {
+    return 1;
+  }
+  return 0;
+}
